@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper.  The
+simulation itself runs in virtual time; ``benchmark.pedantic`` with a
+single round wraps each regeneration so pytest-benchmark reports the
+wall-clock cost of reproducing each artifact, while the printed tables
+carry the actual results.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def show():
+    """Print to the real stdout (bench tables must survive capture)."""
+
+    def _show(text):
+        capman = _capmanager()
+        if capman is not None:
+            with capman.global_and_fixture_disabled():
+                print(text)
+        else:
+            print(text)
+
+    return _show
+
+
+_CAPMAN = None
+
+
+def _capmanager():
+    return _CAPMAN
+
+
+def pytest_configure(config):
+    global _CAPMAN
+    _CAPMAN = config.pluginmanager.getplugin("capturemanager")

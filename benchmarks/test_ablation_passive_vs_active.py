@@ -1,0 +1,119 @@
+"""A4: passive vs active replication — the paper's section 5 argument.
+
+"Critical applications that must tolerate value faults, in addition to
+crash faults, require majority voting and, thus, the use of active
+replication for every object of the application."
+
+Two measurements back the claim:
+
+1. **Execution cost** — passive replication executes each operation
+   once (plus checkpoints); active replication executes it at every
+   replica.  Passive is cheaper.
+2. **Value-fault survival** — inject the identical corrupt replica into
+   both modes: active+voting delivers the correct value, passive
+   delivers the corruption.  Cheap is not survivable.
+"""
+
+from repro.core.config import ImmuneConfig, SurvivabilityCase
+from repro.core.immune import ImmuneSystem
+from repro.core.replica import ValueFaultServant
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.orb.idl import InterfaceDef, OperationDef, ParamDef
+
+WORK_IDL = InterfaceDef(
+    "Worker", [OperationDef("work", [ParamDef("n", "long")], result="long")]
+)
+
+
+class WorkerServant:
+    def __init__(self):
+        self.total = 0
+        self.executions = 0
+
+    def work(self, n):
+        self.executions += 1
+        self.total += n
+        return self.total
+
+    def get_state(self):
+        return CdrEncoder().write("longlong", self.total).getvalue()
+
+    def set_state(self, state):
+        self.total = CdrDecoder(state).read("longlong")
+
+
+def run_mode(passive, corrupt_one, operations=8, seed=91):
+    config = ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=seed)
+    immune = ImmuneSystem(num_processors=6, config=config, trace_kinds=frozenset())
+    servants = {}
+
+    def factory(pid):
+        servant = WorkerServant()
+        servants[pid] = servant
+        if corrupt_one and pid == 0:
+            return ValueFaultServant(servant, corrupt_operations={"work"})
+        return servant
+
+    deploy = immune.deploy_passive if passive else immune.deploy
+    server = deploy("worker", WORK_IDL, factory, [0, 1, 2])
+    client = immune.deploy_client("driver", [3, 4, 5])
+    immune.start()
+    stubs = immune.client_stubs(client, WORK_IDL, server)
+    replies = []
+    for k in range(operations):
+
+        def fire(k=k):
+            for pid, stub in stubs:
+                stub.work(1, reply_to=replies.append)
+
+        immune.scheduler.at(0.1 + 0.15 * k, fire)
+    immune.run(until=0.1 + 0.15 * operations + 3.0)
+    executions = sum(s.executions for s in servants.values())
+    return {
+        "replies": replies,
+        "executions": executions,
+        "final": [servants[pid].total for pid in (0, 1, 2)],
+    }
+
+
+def test_passive_executes_once_active_executes_everywhere(benchmark, show):
+    def run():
+        return run_mode(passive=True, corrupt_one=False), run_mode(
+            passive=False, corrupt_one=False
+        )
+
+    passive, active = benchmark.pedantic(run, rounds=1, iterations=1)
+    show(
+        "\nA4 cost: 8 ops x 3 replicas — passive executed %d times, "
+        "active executed %d times" % (passive["executions"], active["executions"])
+    )
+    assert passive["executions"] == 8
+    assert active["executions"] == 24
+    # Both modes answer every client replica correctly when healthy.
+    assert sorted(passive["replies"])[-1] == 8
+    assert sorted(active["replies"])[-1] == 8
+
+
+def test_active_masks_value_fault_passive_does_not(benchmark, show):
+    def run():
+        return run_mode(passive=True, corrupt_one=True), run_mode(
+            passive=False, corrupt_one=True
+        )
+
+    passive, active = benchmark.pedantic(run, rounds=1, iterations=1)
+    passive_corrupted = sum(1 for r in passive["replies"] if r > 100)
+    active_corrupted = sum(1 for r in active["replies"] if r > 100)
+    show(
+        "\nA4 survival: corrupt primary/replica on P0 — corrupted replies "
+        "delivered: passive %d/%d, active %d/%d"
+        % (
+            passive_corrupted,
+            len(passive["replies"]),
+            active_corrupted,
+            len(active["replies"]),
+        )
+    )
+    assert passive_corrupted == len(passive["replies"]), (
+        "the passive primary's corruption must reach clients"
+    )
+    assert active_corrupted == 0, "voting must mask every corrupted reply"

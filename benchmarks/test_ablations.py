@@ -1,0 +1,57 @@
+"""Ablation benches for the design choices the paper calls out.
+
+* A1 — signature amortisation over j messages per token visit;
+* A2 — RSA modulus size vs throughput;
+* A3 — degree of replication vs throughput.
+"""
+
+from repro.bench.ablations import (
+    format_sweep,
+    sweep_key_size,
+    sweep_replication_degree,
+    sweep_token_batching,
+)
+
+_FAST = dict(duration=0.15, warmup=0.08)
+
+
+def test_ablation_token_batching(benchmark, show):
+    rows = benchmark.pedantic(
+        lambda: sweep_token_batching(js=(1, 2, 6), **_FAST), rounds=1, iterations=1
+    )
+    show("\n" + format_sweep(
+        "A1: case-4 throughput vs messages per token visit (j)", "j", rows
+    ))
+    throughputs = [r.throughput for _, r in rows]
+    # One signature amortised over more messages => higher throughput.
+    assert throughputs[-1] > 1.5 * throughputs[0], (
+        "j=6 should beat j=1 by well over 1.5x, got %s" % throughputs
+    )
+
+
+def test_ablation_key_size(benchmark, show):
+    rows = benchmark.pedantic(
+        lambda: sweep_key_size(moduli=(256, 300, 512), **_FAST), rounds=1, iterations=1
+    )
+    show("\n" + format_sweep(
+        "A2: case-4 throughput vs RSA modulus (bits)", "modulus", rows
+    ))
+    throughputs = [r.throughput for _, r in rows]
+    assert throughputs[0] > throughputs[-1], (
+        "bigger keys must cost throughput: %s" % throughputs
+    )
+
+
+def test_ablation_replication_degree(benchmark, show):
+    rows = benchmark.pedantic(
+        lambda: sweep_replication_degree(degrees=(2, 3, 5), interval=400e-6, **_FAST),
+        rounds=1,
+        iterations=1,
+    )
+    show("\n" + format_sweep(
+        "A3: case-3 throughput vs degree of replication", "degree", rows
+    ))
+    throughputs = [r.throughput for _, r in rows]
+    assert throughputs[0] >= throughputs[-1] * 0.9, (
+        "more replicas should not increase throughput: %s" % throughputs
+    )

@@ -1,0 +1,31 @@
+"""Extension bench: invocation round-trip latency per survivability case.
+
+Not a paper artifact (the paper reports throughput only), but the
+latency hierarchy is the flip side of Figure 7's story: each mechanism
+layer adds protocol latency, and signed tokens dominate — a two-way
+invocation must wait for the token to carry its invocation *and* its
+response, each visit paced by a 3 ms signature.
+"""
+
+from repro.bench.latency import format_latency, measure_latency
+from repro.core.config import SurvivabilityCase
+
+
+def test_latency_hierarchy(benchmark, show):
+    def run():
+        return [measure_latency(case, operations=12) for case in SurvivabilityCase]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    show("\n" + format_latency(results))
+    by_case = {r.case: r.median for r in results}
+    assert (
+        by_case[SurvivabilityCase.UNREPLICATED]
+        < by_case[SurvivabilityCase.ACTIVE_REPLICATION]
+        <= by_case[SurvivabilityCase.MAJORITY_VOTING] * 1.5
+    )
+    # Signed tokens cost an order of magnitude in latency.
+    assert by_case[SurvivabilityCase.FULL_SURVIVABILITY] > 5 * by_case[
+        SurvivabilityCase.MAJORITY_VOTING
+    ]
+    # Every sample returned (no lost replies).
+    assert all(r.count == 12 for r in results)

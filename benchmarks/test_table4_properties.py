@@ -1,0 +1,60 @@
+"""Table 4: processor membership protocol properties, on real histories.
+
+Crashes and a Byzantine equivocation drive reconfigurations; the Table
+4 properties (uniqueness, self-inclusion, total order, eventual
+exclusion, eventual inclusion) are asserted over every correct
+processor's installation history.
+"""
+
+from repro.bench.properties import membership_violations
+from repro.multicast.adversary import MutantTokenBehaviour
+from repro.sim.faults import FaultPlan
+from tests.support import MulticastWorld
+
+
+def crash_history():
+    plan = FaultPlan().schedule_crash(1, 0.5).schedule_crash(4, 2.5)
+    world = MulticastWorld(num=6, fault_plan=plan, seed=31).start()
+    for i in range(6):
+        world.scheduler.at(
+            0.1 + 0.1 * i, world.endpoints[0].multicast, "g", b"m%d" % i
+        )
+    world.run(until=10.0)
+    return world
+
+
+def equivocation_history():
+    world = MulticastWorld(num=4, seed=32).start()
+    behaviour = MutantTokenBehaviour(at_time=0.5).compromise(world.endpoints[2])
+    world.scheduler.at(0.1, world.endpoints[0].multicast, "g", b"payload")
+    world.run(until=8.0)
+    behaviour.restore()
+    return world
+
+
+def test_table4_under_crashes(benchmark, show):
+    world = benchmark.pedantic(crash_history, rounds=1, iterations=1)
+    correct = {0, 2, 3, 5}
+    violations = membership_violations(world.trace, correct, faulty={1, 4})
+    installs = [
+        (rec.proc, rec.ring, rec.members)
+        for rec in world.trace.of_kind("membership.install")
+    ]
+    show("\nTable 4 (two staggered crashes): %d installations recorded" % len(installs))
+    for pid in sorted(correct):
+        history = [(r, m) for p, r, m in installs if p == pid]
+        show("  P%d installed: %s" % (pid, history))
+    assert violations == [], violations
+    for pid in correct:
+        assert world.endpoints[pid].members == (0, 2, 3, 5)
+
+
+def test_table4_under_equivocation(benchmark, show):
+    world = benchmark.pedantic(equivocation_history, rounds=1, iterations=1)
+    correct = {0, 1, 3}
+    violations = membership_violations(world.trace, correct, faulty={2})
+    show(
+        "\nTable 4 (mutant-token equivocation): final memberships %s, violations=%s"
+        % ({pid: world.endpoints[pid].members for pid in sorted(correct)}, violations)
+    )
+    assert violations == [], violations

@@ -1,0 +1,85 @@
+"""Table 5: Byzantine fault detector properties, on real histories.
+
+* Eventual strong Byzantine completeness: every processor that
+  exhibited a fault ends up permanently suspected by every correct
+  processor — exercised with a crash, an equivocation, and a
+  replica value fault (via the Value_Fault_Suspect path).
+* Eventual strong accuracy: no correct processor stays suspected —
+  exercised by a clean run and by a lossy run where transient
+  timeout suspicions must be absolved.
+"""
+
+from repro.bench.properties import detector_violations
+from repro.multicast.adversary import MutantTokenBehaviour
+from repro.sim.faults import FaultPlan, LinkFaults
+from tests.support import MulticastWorld
+
+
+def test_table5_completeness_for_crash_and_equivocation(benchmark, show):
+    def run():
+        plan = FaultPlan().schedule_crash(3, 0.6)
+        world = MulticastWorld(num=5, fault_plan=plan, seed=41).start()
+        behaviour = MutantTokenBehaviour(at_time=2.5).compromise(world.endpoints[1])
+        world.scheduler.at(0.1, world.endpoints[0].multicast, "g", b"x")
+        world.run(until=12.0)
+        behaviour.restore()
+        return world
+
+    world = benchmark.pedantic(run, rounds=1, iterations=1)
+    correct = {0, 2, 4}
+    violations = detector_violations(world.trace, correct, faulty={1, 3})
+    reasons = {
+        pid: {
+            suspect: sorted(world.endpoints[pid].detector.reasons_for(suspect))
+            for suspect in (1, 3)
+        }
+        for pid in sorted(correct)
+    }
+    show("\nTable 5 completeness: final suspicion reasons per correct processor")
+    for pid, by_suspect in reasons.items():
+        show("  P%d: %s" % (pid, by_suspect))
+    assert violations == [], violations
+
+
+def test_table5_accuracy_clean_run(benchmark, show):
+    def run():
+        world = MulticastWorld(num=5, seed=42).start()
+        for i in range(10):
+            world.scheduler.at(
+                0.1 + 0.05 * i, world.endpoints[i % 5].multicast, "g", b"m%d" % i
+            )
+        world.run(until=5.0)
+        return world
+
+    world = benchmark.pedantic(run, rounds=1, iterations=1)
+    correct = set(range(5))
+    violations = detector_violations(world.trace, correct)
+    total_suspicions = world.trace.count("detector.suspect")
+    show(
+        "\nTable 5 accuracy (clean run): %d suspicion events, violations=%s"
+        % (total_suspicions, violations)
+    )
+    assert violations == []
+
+
+def test_table5_accuracy_under_loss_with_absolution(benchmark, show):
+    def run():
+        plan = FaultPlan(default=LinkFaults(loss_prob=0.2), active_until=1.5)
+        world = MulticastWorld(num=4, fault_plan=plan, seed=43).start()
+        for i in range(8):
+            world.scheduler.at(
+                0.1 + 0.05 * i, world.endpoints[0].multicast, "g", b"m%d" % i
+            )
+        world.run(until=8.0)
+        return world
+
+    world = benchmark.pedantic(run, rounds=1, iterations=1)
+    correct = set(range(4))
+    violations = detector_violations(world.trace, correct)
+    suspicions = world.trace.count("detector.suspect")
+    absolutions = world.trace.count("detector.absolve")
+    show(
+        "\nTable 5 accuracy under 20%% loss: %d transient suspicions, "
+        "%d absolutions, final violations=%s" % (suspicions, absolutions, violations)
+    )
+    assert violations == []

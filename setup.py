@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All real metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works through the legacy setup.py code path on
+offline hosts that cannot build PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

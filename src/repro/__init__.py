@@ -1,0 +1,28 @@
+"""Reproduction of the Immune system (Narasimhan et al., ICDCS 1999).
+
+The Immune system makes unmodified CORBA applications *survivable*:
+every client and server object is actively replicated, every invocation
+and response is majority-voted, and the whole stack rides on Secure
+Multicast Protocols that tolerate Byzantine processors.
+
+Public entry points:
+
+* :class:`repro.core.ImmuneSystem` — build a whole simulated
+  deployment (processors, ORBs, Replication Managers, protocols);
+* :class:`repro.core.ImmuneConfig` / :class:`repro.core.SurvivabilityCase`
+  — choose one of the paper's four survivability configurations;
+* :mod:`repro.orb` — the mini-CORBA ORB (IDL, CDR, GIOP) applications
+  are written against;
+* :mod:`repro.multicast` — the Secure Multicast Protocols, usable on
+  their own via :class:`repro.multicast.SecureGroupEndpoint`;
+* :mod:`repro.bench` — harnesses that regenerate every table and
+  figure of the paper's evaluation.
+
+See ``examples/quickstart.py`` for the 40-line tour.
+"""
+
+from repro.core import ImmuneConfig, ImmuneSystem, SurvivabilityCase
+
+__version__ = "1.0.0"
+
+__all__ = ["ImmuneConfig", "ImmuneSystem", "SurvivabilityCase", "__version__"]

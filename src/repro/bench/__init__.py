@@ -1,0 +1,17 @@
+"""Benchmark harness regenerating the paper's evaluation.
+
+* :mod:`repro.bench.harness` — builds packet-driver deployments for
+  the four survivability cases and measures steady-state throughput;
+* :mod:`repro.bench.figure7` — the throughput-vs-invocation-interval
+  sweep of Figure 7 (run ``python -m repro.bench.figure7``);
+* :mod:`repro.bench.tables` — fault-injection drills regenerating the
+  Table 1 fault/mechanism matrix and the property checks behind
+  Tables 2, 4, and 5;
+* :mod:`repro.bench.ablations` — parameter studies the paper calls
+  out: messages per token visit (j), RSA modulus size, replication
+  degree.
+"""
+
+from repro.bench.harness import CaseResult, run_packet_driver_case
+
+__all__ = ["CaseResult", "run_packet_driver_case"]

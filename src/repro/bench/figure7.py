@@ -1,0 +1,99 @@
+"""Figure 7: performance of the Immune system.
+
+Sweeps the interval between consecutive one-way invocations at the
+client and reports the throughput measured at the server for the four
+survivability cases.  Run standalone for the full sweep::
+
+    python -m repro.bench.figure7            # full sweep
+    python -m repro.bench.figure7 --quick    # abbreviated sweep
+
+The shape to compare against the paper (absolute numbers depend on the
+calibrated cost model, not on the authors' UltraSPARC testbed):
+
+* case 1 (no replication, no Immune) is the highest throughput;
+* cases 2 and 3 track each other closely — the interception,
+  replication, multicast, and digest overheads are modest;
+* case 4 is far below the others and nearly flat: RSA signature
+  generation dominates CPU and caps throughput regardless of load;
+* at small intervals, cases 1-3 show batching transients from the
+  ORB's coalescing of one-way invocations.
+"""
+
+import sys
+
+from repro.bench.harness import format_series, sweep
+from repro.core.config import SurvivabilityCase
+
+#: the paper varies the interval over roughly this range (microseconds)
+FULL_INTERVALS_US = (50, 75, 100, 150, 200, 300, 500, 800, 1200)
+QUICK_INTERVALS_US = (100, 300, 1200)
+
+ALL_CASES = (
+    SurvivabilityCase.UNREPLICATED,
+    SurvivabilityCase.ACTIVE_REPLICATION,
+    SurvivabilityCase.MAJORITY_VOTING,
+    SurvivabilityCase.FULL_SURVIVABILITY,
+)
+
+
+def run_figure7(quick=False, duration=None, warmup=None):
+    """Run the sweep; returns {case: [CaseResult, ...]}."""
+    intervals_us = QUICK_INTERVALS_US if quick else FULL_INTERVALS_US
+    kwargs = {}
+    if duration is not None:
+        kwargs["duration"] = duration
+    if warmup is not None:
+        kwargs["warmup"] = warmup
+    if quick:
+        kwargs.setdefault("duration", 0.2)
+        kwargs.setdefault("warmup", 0.1)
+    return sweep(ALL_CASES, [us * 1e-6 for us in intervals_us], **kwargs)
+
+
+def check_shape(results):
+    """Assert the qualitative relationships the paper demonstrates.
+
+    Returns a list of violated expectations (empty = shape holds).
+    """
+    problems = []
+
+    def series(case):
+        return {round(r.interval_us): r.throughput for r in results[case]}
+
+    case1 = series(SurvivabilityCase.UNREPLICATED)
+    case2 = series(SurvivabilityCase.ACTIVE_REPLICATION)
+    case3 = series(SurvivabilityCase.MAJORITY_VOTING)
+    case4 = series(SurvivabilityCase.FULL_SURVIVABILITY)
+    for us in case1:
+        if not case1[us] >= case2[us] * 0.95:
+            problems.append("case 1 below case 2 at %dus" % us)
+        if not case2[us] >= case4[us]:
+            problems.append("case 2 below case 4 at %dus" % us)
+        if not case3[us] >= case4[us]:
+            problems.append("case 3 below case 4 at %dus" % us)
+    # Case 4 is CPU-bound on signatures: its throughput must be nearly
+    # flat across offered loads where the others still scale.
+    c4 = [case4[us] for us in sorted(case4)]
+    if c4 and max(c4) > 0 and (max(c4) - min(c4)) > 0.5 * max(c4):
+        problems.append("case 4 is not flat (signature-bound)")
+    return problems
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    quick = "--quick" in argv
+    results = run_figure7(quick=quick)
+    print(format_series(results))
+    problems = check_shape(results)
+    print()
+    if problems:
+        print("SHAPE CHECK: %d deviation(s) from the paper:" % len(problems))
+        for problem in problems:
+            print("  - %s" % problem)
+        return 1
+    print("SHAPE CHECK: matches the paper (case1 > case2 ~ case3 >> case4 flat)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

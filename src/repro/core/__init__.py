@@ -1,0 +1,30 @@
+"""The Immune system's core: the Replication Manager and its facade.
+
+This package is the paper's primary contribution.  It sits between the
+(unmodified) ORB above and the Secure Multicast Protocols below:
+
+* :mod:`repro.core.identifiers` — operation, invocation, and response
+  identifiers (Figure 3) and the Immune message wrapping of IIOP;
+* :mod:`repro.core.groups` — the object group table every Replication
+  Manager maintains via the base group;
+* :mod:`repro.core.duplicates` — duplicate detection of the copies
+  sent by each replica of a group (section 5.1);
+* :mod:`repro.core.voting` — input/output majority voting on
+  invocations and responses (section 6.1);
+* :mod:`repro.core.value_fault` — the value fault detector correlating
+  Value_Fault_Vote messages and notifying the Byzantine fault detector
+  (section 6.2);
+* :mod:`repro.core.manager` — the Replication Manager tying it all
+  together (Figure 2);
+* :mod:`repro.core.replica` — replica-level fault injection (value
+  faults, send omission, replica crash) used by Table 1 experiments;
+* :mod:`repro.core.immune` — the :class:`ImmuneSystem` facade that
+  assembles a whole simulated deployment;
+* :mod:`repro.core.config` — survivability cases 1-4 and resilience
+  invariants.
+"""
+
+from repro.core.config import ImmuneConfig, SurvivabilityCase
+from repro.core.immune import ImmuneSystem
+
+__all__ = ["ImmuneConfig", "SurvivabilityCase", "ImmuneSystem"]

@@ -1,0 +1,37 @@
+"""Duplicate detection (paper section 5.1).
+
+When a client (server) object is actively replicated, each replica
+issues the same invocation (response); the copies must never be
+delivered more than once to a target whose state would be corrupted by
+reprocessing.  The filter tracks, per target, which operation
+identifiers have already produced a delivery, and how many copies of
+each were observed (the surplus feeds the duplicate-suppression
+statistics reported by the benches).
+"""
+
+
+class DuplicateFilter:
+    """Tracks delivered operations for one target replica."""
+
+    def __init__(self):
+        self._delivered = set()
+        self.stats = {"delivered": 0, "suppressed": 0}
+
+    def is_delivered(self, op_key):
+        return op_key in self._delivered
+
+    def mark_delivered(self, op_key):
+        """Record a delivery; returns False if it was already delivered."""
+        if op_key in self._delivered:
+            self.stats["suppressed"] += 1
+            return False
+        self._delivered.add(op_key)
+        self.stats["delivered"] += 1
+        return True
+
+    def suppress(self, op_key):
+        """Record a suppressed duplicate copy of a delivered operation."""
+        self.stats["suppressed"] += 1
+
+    def __len__(self):
+        return len(self._delivered)

@@ -1,0 +1,141 @@
+"""Operation, invocation, and response identifiers (paper Figure 3).
+
+Every operation a replicated client issues is named by an *operation
+identifier* ``(source_group, operation_number)``.  Each replica of the
+client assigns operation numbers deterministically (replicas are
+deterministic, so their n-th invocations coincide), which makes the
+identifier identical in the first two fields across all replicas — the
+property duplicate detection and voting rely on:
+
+* invocation identifier = ``(client_group, op_num, client_replica)``
+* response identifier   = ``(client_group, op_num, server_replica)``
+
+The Replication Manager wraps each intercepted IIOP frame into an
+:class:`ImmuneMessage` carrying these identifiers plus the *normalised*
+GIOP frame (its request id rewritten to the operation number, so the
+copies sent by different replicas are byte-identical and can be voted
+on by value).
+"""
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder, MarshalError
+
+KIND_INVOCATION = 1
+KIND_RESPONSE = 2
+KIND_VALUE_FAULT_VOTE = 3
+KIND_GROUP_UPDATE = 4
+KIND_STATE_TRANSFER = 5
+#: primary-to-backup state checkpoint of a warm-passively replicated
+#: object (the contrast baseline of section 5: passive replication
+#: cannot tolerate value faults)
+KIND_PASSIVE_UPDATE = 6
+
+#: the distinguished group every Replication Manager joins to learn
+#: object-group memberships and exchange Value_Fault_Vote messages
+BASE_GROUP = "__base__"
+
+
+class ImmuneCodecError(Exception):
+    """Raised on malformed Immune messages."""
+
+
+class OperationId:
+    """``(source_group, op_num)`` — identical across a group's replicas."""
+
+    __slots__ = ("source_group", "op_num")
+
+    def __init__(self, source_group, op_num):
+        self.source_group = source_group
+        self.op_num = op_num
+
+    def key(self):
+        return (self.source_group, self.op_num)
+
+    def __eq__(self, other):
+        return isinstance(other, OperationId) and self.key() == other.key()
+
+    def __hash__(self):
+        return hash(self.key())
+
+    def __repr__(self):
+        return "OperationId(%s#%d)" % (self.source_group, self.op_num)
+
+
+class ImmuneMessage:
+    """The Replication Manager's multicast payload.
+
+    ``kind`` selects the interpretation of ``body``:
+
+    * ``KIND_INVOCATION`` / ``KIND_RESPONSE`` — a normalised GIOP frame;
+    * ``KIND_VALUE_FAULT_VOTE`` — an encoded vote set (see
+      :mod:`repro.core.value_fault`);
+    * ``KIND_GROUP_UPDATE`` — an object-group membership update (see
+      :mod:`repro.core.groups`);
+    * ``KIND_STATE_TRANSFER`` — a servant state checkpoint used when a
+      lost replica is reallocated to a correct processor.
+    """
+
+    __slots__ = ("kind", "source_group", "op_num", "replica_proc", "target_group", "body")
+
+    def __init__(self, kind, source_group, op_num, replica_proc, target_group, body):
+        self.kind = kind
+        self.source_group = source_group
+        self.op_num = op_num
+        self.replica_proc = replica_proc
+        self.target_group = target_group
+        self.body = body
+
+    @property
+    def operation_id(self):
+        return OperationId(self.source_group, self.op_num)
+
+    def encode(self):
+        encoder = CdrEncoder()
+        encoder.write("octet", self.kind)
+        encoder.write("string", self.source_group)
+        encoder.write("ulonglong", self.op_num)
+        encoder.write("ulong", self.replica_proc)
+        encoder.write("string", self.target_group)
+        encoder.write("octets", self.body)
+        return encoder.getvalue()
+
+    @classmethod
+    def decode(cls, data):
+        try:
+            decoder = CdrDecoder(data)
+            kind = decoder.read("octet")
+            if kind not in (
+                KIND_INVOCATION,
+                KIND_RESPONSE,
+                KIND_VALUE_FAULT_VOTE,
+                KIND_GROUP_UPDATE,
+                KIND_STATE_TRANSFER,
+                KIND_PASSIVE_UPDATE,
+            ):
+                raise ImmuneCodecError("unknown Immune message kind %d" % kind)
+            return cls(
+                kind,
+                decoder.read("string"),
+                decoder.read("ulonglong"),
+                decoder.read("ulong"),
+                decoder.read("string"),
+                decoder.read("octets"),
+            )
+        except MarshalError as exc:
+            raise ImmuneCodecError("malformed Immune message: %s" % exc)
+
+    def __repr__(self):
+        kinds = {
+            KIND_INVOCATION: "INV",
+            KIND_RESPONSE: "RSP",
+            KIND_VALUE_FAULT_VOTE: "VFV",
+            KIND_GROUP_UPDATE: "GRP",
+            KIND_STATE_TRANSFER: "STX",
+        }
+        return "ImmuneMessage(%s, %s#%d from P%d -> %s, %d bytes)" % (
+            kinds.get(self.kind, self.kind),
+            self.source_group,
+            self.op_num,
+            self.replica_proc,
+            self.target_group,
+            len(self.body),
+        )

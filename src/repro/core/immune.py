@@ -1,0 +1,351 @@
+"""The :class:`ImmuneSystem` facade — a whole simulated deployment.
+
+Assembles, per processor: the simulated host, an unmodified mini-ORB,
+and (for the replicated cases) a Secure Multicast endpoint, a
+Replication Manager, and the IIOP interceptor wiring them together.
+Application code then only deals with object groups and stubs:
+
+    immune = ImmuneSystem(num_processors=6, config=ImmuneConfig())
+    server = immune.deploy("counter", COUNTER_IDL,
+                           lambda pid: CounterServant(), on_procs=[0, 1, 2])
+    client = immune.deploy_client("driver", on_procs=[3, 4, 5])
+    immune.start()
+    for pid, stub in immune.client_stubs(client, COUNTER_IDL, server):
+        stub.add(1)                      # every client replica invokes
+    immune.run(until=1.0)
+
+The servants and the invoking code are exactly what they would be on a
+bare ORB — the Immune system's transparency claim, reproduced.
+"""
+
+from repro.core.config import ConfigError, ImmuneConfig, SurvivabilityCase
+from repro.core.identifiers import BASE_GROUP
+from repro.core.manager import ReplicationManager
+from repro.crypto.keystore import KeyStore
+from repro.multicast.endpoint import SecureGroupEndpoint
+from repro.orb.core import BatchingPolicy, Orb
+from repro.orb.interceptor import ImmuneInterceptor
+from repro.orb.ior import ObjectReference
+from repro.orb.transport import DirectTransport
+from repro.sim.network import Network, NetworkParams
+from repro.sim.process import Processor
+from repro.sim.rng import RngStreams
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import TraceLog
+
+import random
+
+
+class GroupHandle:
+    """A deployed object group (or the unreplicated singleton object)."""
+
+    def __init__(self, group_name, interface, reference, replica_procs, servants):
+        self.group_name = group_name
+        self.interface = interface
+        self.reference = reference
+        self.replica_procs = tuple(replica_procs)
+        #: pid -> servant instance (None for pure client groups)
+        self.servants = dict(servants)
+
+    def __repr__(self):
+        return "GroupHandle(%s on %s)" % (self.group_name, list(self.replica_procs))
+
+
+class ImmuneSystem:
+    """A complete simulated Immune deployment on one LAN."""
+
+    def __init__(
+        self,
+        num_processors,
+        config=None,
+        net_params=None,
+        fault_plan=None,
+        trace_kinds=None,
+    ):
+        self.config = config or ImmuneConfig()
+        self.config.validate_system(num_processors)
+        self.scheduler = Scheduler()
+        self.streams = RngStreams(self.config.seed)
+        self.trace = TraceLog(self.scheduler, enabled_kinds=trace_kinds)
+        self.fault_plan = fault_plan
+        self.network = Network(
+            self.scheduler,
+            params=net_params or NetworkParams(),
+            rng=self.streams.stream("net"),
+            fault_plan=fault_plan,
+            trace=None,
+        )
+        self.processors = {}
+        self.orbs = {}
+        self.endpoints = {}
+        self.managers = {}
+        self._groups = {}
+        self._started = False
+
+        replicated = self.config.case.replicated
+        if replicated:
+            self.keystore = KeyStore(
+                random.Random(self.config.seed),
+                modulus_bits=self.config.modulus_bits,
+                digest_fn=self.config.digest_fn(),
+            )
+        else:
+            self.keystore = None
+
+        for pid in range(num_processors):
+            processor = Processor(pid, self.scheduler)
+            self.network.add_processor(processor)
+            self.processors[pid] = processor
+            batching = self.config.batching
+            orb = Orb(
+                processor,
+                self.scheduler,
+                cost_model=self.config.orb_costs,
+                batching=BatchingPolicy(batching.max_messages, batching.window),
+                trace=self.trace,
+            )
+            self.orbs[pid] = orb
+            if replicated:
+                endpoint = SecureGroupEndpoint(
+                    processor,
+                    self.scheduler,
+                    self.network,
+                    self.keystore,
+                    self.config.crypto_costs,
+                    self.config.multicast,
+                    self.trace,
+                )
+                manager = ReplicationManager(
+                    processor, self.scheduler, endpoint, self.config, self.trace
+                )
+                orb.set_transport(ImmuneInterceptor(manager))
+                self.endpoints[pid] = endpoint
+                self.managers[pid] = manager
+            else:
+                orb.set_transport(DirectTransport(self.network))
+        if fault_plan is not None:
+            fault_plan.arm_crashes(self.scheduler, self.processors)
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+
+    def deploy(self, group_name, interface, servant_factory, on_procs):
+        """Deploy an actively replicated server object.
+
+        ``servant_factory(pid)`` builds one (deterministic) replica per
+        processor.  In the unreplicated case only the first processor
+        of ``on_procs`` is used.
+        """
+        if group_name in self._groups or group_name == BASE_GROUP:
+            raise ConfigError("group name %r already in use" % group_name)
+        if not self.config.case.replicated:
+            on_procs = list(on_procs)[:1]
+        self.config.validate_placement(group_name, on_procs, len(self.processors))
+        servants = {}
+        for pid in on_procs:
+            servant = servant_factory(pid)
+            self.orbs[pid].register_servant(group_name, servant, interface)
+            servants[pid] = servant
+        if self.config.case.replicated:
+            reference = ObjectReference(interface.name, group_name)
+            for manager in self.managers.values():
+                manager.register_group(group_name, on_procs)
+            for pid in on_procs:
+                self.managers[pid].host_replica(group_name)
+        else:
+            reference = ObjectReference(interface.name, group_name, host=on_procs[0])
+        handle = GroupHandle(group_name, interface, reference, on_procs, servants)
+        self._groups[group_name] = handle
+        return handle
+
+    def deploy_passive(self, group_name, interface, servant_factory, on_procs):
+        """Deploy a *warm-passively* replicated server object.
+
+        The contrast baseline to :meth:`deploy` (paper section 5): the
+        lowest surviving member executes alone and streams state
+        checkpoints to warm backups.  Survives crashes at a fraction of
+        active replication's execution cost — but a corrupted primary's
+        value faults reach the clients unmasked, which is the paper's
+        argument for active replication with majority voting.  Requires
+        a replicated case (2-4).
+        """
+        if not self.config.case.replicated:
+            raise ConfigError("passive replication needs a replicated case")
+        if group_name in self._groups or group_name == BASE_GROUP:
+            raise ConfigError("group name %r already in use" % group_name)
+        self.config.validate_placement(group_name, on_procs, len(self.processors))
+        servants = {}
+        for pid in on_procs:
+            servant = servant_factory(pid)
+            self.orbs[pid].register_servant(group_name, servant, interface)
+            servants[pid] = servant
+        reference = ObjectReference(interface.name, group_name)
+        handle = GroupHandle(group_name, interface, reference, on_procs, servants)
+        for manager in self.managers.values():
+            manager.register_group(group_name, on_procs)
+            manager.mark_passive_source(group_name)
+        for pid in on_procs:
+            self.managers[pid].host_passive_replica(
+                group_name, lambda pid=pid: handle.servants[pid]
+            )
+        self._groups[group_name] = handle
+        return handle
+
+    def deploy_client(self, group_name, on_procs):
+        """Deploy an actively replicated client object (a pure invoker).
+
+        Client objects are replicated too — both input and output
+        majority voting are used (paper section 6.1) — so responses to
+        the client group are voted at each client replica.
+        """
+        if group_name in self._groups or group_name == BASE_GROUP:
+            raise ConfigError("group name %r already in use" % group_name)
+        if not self.config.case.replicated:
+            on_procs = list(on_procs)[:1]
+        if self.config.case.replicated:
+            self.config.validate_placement(group_name, on_procs, len(self.processors))
+            for manager in self.managers.values():
+                manager.register_group(group_name, on_procs)
+            for pid in on_procs:
+                self.managers[pid].host_replica(group_name)
+        handle = GroupHandle(group_name, None, None, on_procs, {})
+        self._groups[group_name] = handle
+        return handle
+
+    def client_stubs(self, client_handle, interface, server_handle):
+        """Stubs for every client replica: [(pid, stub), ...].
+
+        Driving each replica identically (same operations at the same
+        simulated times) preserves replica determinism, exactly as the
+        replicas of a real client object would behave.
+        """
+        out = []
+        for pid in client_handle.replica_procs:
+            stub = self.orbs[pid].stub(
+                interface, server_handle.reference, source_key=client_handle.group_name
+            )
+            out.append((pid, stub))
+        return out
+
+    def group(self, group_name):
+        return self._groups[group_name]
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self):
+        """Install the initial processor membership and begin operation."""
+        if self._started:
+            return self
+        self._started = True
+        if self.config.case.replicated:
+            members = sorted(self.processors)
+            for pid in members:
+                self.endpoints[pid].start(members)
+        return self
+
+    def run(self, until=None, max_events=None):
+        if not self._started:
+            self.start()
+        self.scheduler.run(until=until, max_events=max_events)
+        return self
+
+    # ------------------------------------------------------------------
+    # recovery: reallocating lost replicas (section 3.1)
+    # ------------------------------------------------------------------
+
+    def reallocate(self, group_name, new_pid, servant_from_state):
+        """Join a fresh replica of ``group_name`` on processor ``new_pid``.
+
+        ``servant_from_state(state_bytes)`` must return a servant
+        initialised from the checkpointed state (servants expose
+        ``get_state``/``set_state`` for this).  The Replication Manager
+        handles the ordered state transfer and the membership update.
+        """
+        handle = self._groups[group_name]
+        if handle.interface is None:
+            raise ConfigError("cannot reallocate a pure client group %r" % group_name)
+        manager = self.managers[new_pid]
+        orb = self.orbs[new_pid]
+
+        def factory_and_register(state_bytes):
+            servant = servant_from_state(state_bytes)
+            orb.register_servant(group_name, servant, handle.interface)
+            handle.servants[new_pid] = servant
+
+        manager.request_join(group_name, factory_and_register)
+
+    def recover_processor(self, pid, servant_factories):
+        """Bring an excluded-but-repaired processor fully back.
+
+        Two phases, both through the ordered protocols:
+
+        1. the processor rejoins the processor membership (signed join
+           requests, admission round — see
+           :meth:`repro.multicast.endpoint.SecureGroupEndpoint.request_join`);
+        2. once admitted, its object group table is resynced and every
+           group in ``servant_factories`` (``{group_name:
+           servant_from_state}``) is reallocated onto it by ordered
+           state transfer.
+
+        A processor convicted of Byzantine behaviour is refused at
+        phase 1 by every correct member.
+        """
+        if not self.config.case.replicated:
+            raise ConfigError("processor recovery needs a replicated case")
+        endpoint = self.endpoints[pid]
+        manager = self.managers[pid]
+        orb = self.orbs[pid]
+        recovered = {"done": False}
+
+        def maybe_restore(ring_id, members, excluded):
+            if recovered["done"] or pid not in members:
+                return
+            recovered["done"] = True
+            donor = next(
+                (
+                    other
+                    for other in sorted(self.managers)
+                    if other != pid and not self.processors[other].crashed
+                ),
+                None,
+            )
+            if donor is not None:
+                manager.resync_groups(self.managers[donor].groups.snapshot())
+            for group_name, from_state in sorted(servant_factories.items()):
+                handle = self._groups[group_name]
+                orb.adapter.deactivate(group_name)
+                manager.drop_replica(group_name)
+
+                def factory_and_register(state, group_name=group_name, handle=handle, from_state=from_state):
+                    servant = from_state(state)
+                    orb.register_servant(group_name, servant, handle.interface)
+                    handle.servants[pid] = servant
+
+                manager.request_join(group_name, factory_and_register)
+
+        endpoint.on_membership_change(maybe_restore)
+        endpoint.request_join()
+
+    # ------------------------------------------------------------------
+    # reporting helpers
+    # ------------------------------------------------------------------
+
+    def surviving_members(self):
+        if not self.config.case.replicated:
+            return tuple(
+                pid for pid, proc in sorted(self.processors.items()) if not proc.crashed
+            )
+        for pid in sorted(self.endpoints):
+            if not self.processors[pid].crashed and not self.endpoints[pid].halted:
+                return self.endpoints[pid].members
+        return ()
+
+    def group_members(self, group_name):
+        """The object group membership as seen by the first correct RM."""
+        for pid in sorted(self.managers):
+            if not self.processors[pid].crashed:
+                return self.managers[pid].groups.members(group_name)
+        return ()

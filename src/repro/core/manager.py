@@ -1,0 +1,515 @@
+"""The Replication Manager (paper Figure 2).
+
+One Replication Manager runs on every processor.  Its outbound side
+receives IIOP frames from the interceptor below the local ORB, assigns
+operation numbers, normalises the GIOP request id to the operation
+number (so that the copies issued by different replicas of the same
+group are byte-identical and can be voted on by value), wraps the frame
+into an :class:`~repro.core.identifiers.ImmuneMessage`, and multicasts
+it to the target object group through the Secure Multicast Protocols.
+
+Its inbound side receives *every* totally-ordered multicast message,
+filters by destination group (passing on only those for groups with a
+local replica, plus everything addressed to the base group), applies
+duplicate detection, majority voting (cases 3 and 4), and value fault
+detection, and injects the single winning frame into the local ORB for
+dispatch to the replica.  Responses from a dispatched invocation come
+back through a reply sink that wraps them with the matching response
+identifier and multicasts them to the client group, where the
+Replication Managers of the client replicas vote on them in turn
+(output voting) and correlate them back to each replica's original
+GIOP request id.
+"""
+
+from repro.core.duplicates import DuplicateFilter
+from repro.core.groups import GroupError, GroupUpdate, ObjectGroupTable, UPDATE_ADD
+from repro.core.identifiers import (
+    BASE_GROUP,
+    ImmuneCodecError,
+    ImmuneMessage,
+    KIND_GROUP_UPDATE,
+    KIND_INVOCATION,
+    KIND_RESPONSE,
+    KIND_STATE_TRANSFER,
+    KIND_VALUE_FAULT_VOTE,
+)
+from repro.core.value_fault import (
+    ValueFaultCodecError,
+    ValueFaultDetector,
+    ValueFaultVote,
+)
+from repro.core.voting import LateFault, VoteDecision, Voter
+from repro.orb.giop import GiopError, ReplyMessage, RequestMessage, decode_message
+
+#: simulated CPU cost of intercepting/wrapping one IIOP frame
+INTERCEPTION_COST = 15e-6
+
+
+class ReplicationError(Exception):
+    """Raised on Replication Manager misconfiguration."""
+
+
+class ReplicationManager:
+    """The per-processor Replication Manager."""
+
+    def __init__(self, processor, scheduler, endpoint, config, trace=None):
+        self.processor = processor
+        self.scheduler = scheduler
+        self.endpoint = endpoint
+        self.config = config
+        self._trace = trace
+        self.my_id = processor.proc_id
+        self.groups = ObjectGroupTable()
+        self.voting_enabled = config.case.voting
+        self._orb = None
+        self._local_groups = set()
+        self._voters = {}
+        self._dup_filters = {}
+        #: warm-passively replicated groups hosted here: group -> driver
+        self._passive_drivers = {}
+        #: groups known (system-wide) to be passively replicated, whose
+        #: responses are sent by the primary alone and must therefore
+        #: bypass response voting at the clients
+        self._passive_sources = set()
+        self._op_counters = {}
+        self._reply_map = {}
+        #: listeners for processor exclusions (the facade's reallocation
+        #: policy hangs off this): fn(excluded_pid, affected_groups)
+        self._exclusion_listeners = []
+        #: state-transfer machinery (replica reallocation)
+        self._join_factories = {}
+        self._join_buffers = {}
+        self._vfd = ValueFaultDetector(
+            self.groups,
+            endpoint.report_value_fault_suspect,
+            trace,
+            self.my_id,
+        )
+        self.stats = {
+            "invocations_sent": 0,
+            "responses_sent": 0,
+            "delivered_to_orb": 0,
+            "value_fault_votes_sent": 0,
+        }
+        endpoint.on_deliver(self._on_deliver)
+        endpoint.on_membership_change(self._on_membership_change)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def bind_orb(self, orb):
+        """Called by the interceptor transport when installed in an ORB."""
+        self._orb = orb
+
+    def register_group(self, group_name, proc_ids):
+        """Bootstrap knowledge of an object group's replica placement.
+
+        Initial deployment is configuration-time knowledge shared by
+        every Replication Manager; runtime changes flow through the
+        base group and the processor membership protocol.
+        """
+        self.groups.create(group_name, proc_ids)
+
+    def host_replica(self, group_name):
+        """Mark that a replica of ``group_name`` is active on this ORB."""
+        self._local_groups.add(group_name)
+        if group_name not in self._voters:
+            self._voters[group_name] = Voter(
+                group_name, self.groups, self.endpoint.signing.digest_fn
+            )
+            self._dup_filters[group_name] = DuplicateFilter()
+
+    def host_passive_replica(self, group_name, servant_getter):
+        """Host a warm-passive replica (see :mod:`repro.core.passive`)."""
+        from repro.core.passive import PassiveGroupDriver
+
+        self._local_groups.add(group_name)
+        self._passive_drivers[group_name] = PassiveGroupDriver(
+            self, group_name, servant_getter
+        )
+        self._dup_filters.setdefault(group_name, DuplicateFilter())
+        return self._passive_drivers[group_name]
+
+    def mark_passive_source(self, group_name):
+        """Record that ``group_name`` is passively replicated system-wide."""
+        self._passive_sources.add(group_name)
+
+    def drop_replica(self, group_name):
+        self._local_groups.discard(group_name)
+        self._passive_drivers.pop(group_name, None)
+
+    def hosts(self, group_name):
+        return group_name in self._local_groups
+
+    def on_exclusion(self, fn):
+        self._exclusion_listeners.append(fn)
+
+    def resync_groups(self, snapshot):
+        """Administrator resync of the object group table after rejoin.
+
+        A processor that was excluded missed every GroupUpdate since;
+        its table is stale.  A production deployment would carry the
+        table inside the state checkpoints; here the administrator (the
+        facade) reinstalls a correct manager's snapshot before the
+        replicas are reallocated.
+        """
+        self.groups = ObjectGroupTable()
+        for group_name, members in sorted(snapshot.items()):
+            self.groups.create(group_name, members)
+        self._vfd._groups = self.groups
+        for voter in self._voters.values():
+            voter._groups = self.groups
+
+    def voter_for(self, group_name):
+        return self._voters.get(group_name)
+
+    def dup_filter_for(self, group_name):
+        return self._dup_filters.get(group_name)
+
+    # ------------------------------------------------------------------
+    # outbound: intercepted IIOP
+    # ------------------------------------------------------------------
+
+    def outgoing_iiop(self, reference, frame, source_key):
+        """An intercepted outbound GIOP frame from the local ORB."""
+        if source_key is None:
+            raise ReplicationError(
+                "invocations through the Immune system must be attributed to "
+                "a local client object (create stubs via ImmuneSystem.connect)"
+            )
+        source_group = bytes(source_key).decode("utf-8")
+        try:
+            message = decode_message(frame)
+        except GiopError:
+            return
+        if not isinstance(message, RequestMessage):
+            return  # replies travel through reply sinks, never here
+        self.processor.charge(INTERCEPTION_COST, "rm.intercept")
+        op_num = self._op_counters.get(source_group, 0)
+        self._op_counters[source_group] = op_num + 1
+        if message.response_expected:
+            self._reply_map[(source_group, op_num)] = message.request_id
+        normalised = RequestMessage(
+            op_num,
+            message.object_key,
+            message.operation,
+            message.body,
+            message.response_expected,
+        ).encode()
+        wrapped = ImmuneMessage(
+            KIND_INVOCATION,
+            source_group,
+            op_num,
+            self.my_id,
+            reference.group_name,
+            normalised,
+        )
+        self.stats["invocations_sent"] += 1
+        if self._trace is not None:
+            self._trace.record(
+                "rm.invoke",
+                proc=self.my_id,
+                source=source_group,
+                target=reference.group_name,
+                op_num=op_num,
+            )
+        self.endpoint.multicast(reference.group_name, wrapped.encode())
+
+    def _response_sink(self, client_group, op_num, server_group):
+        def send_response(reply_frame):
+            if self.processor.crashed:
+                return
+            self.processor.charge(INTERCEPTION_COST, "rm.intercept")
+            wrapped = ImmuneMessage(
+                KIND_RESPONSE,
+                server_group,
+                op_num,
+                self.my_id,
+                client_group,
+                reply_frame,
+            )
+            self.stats["responses_sent"] += 1
+            self.endpoint.multicast(client_group, wrapped.encode())
+
+        return send_response
+
+    # ------------------------------------------------------------------
+    # inbound: totally ordered multicast deliveries
+    # ------------------------------------------------------------------
+
+    def _on_deliver(self, sender_id, seq, dest_group, payload):
+        try:
+            message = ImmuneMessage.decode(payload)
+        except ImmuneCodecError:
+            return
+        if message.replica_proc != sender_id:
+            # The wrapped sender must be the authenticated multicast
+            # sender; a mismatch is a masquerade attempt above the
+            # multicast layer.
+            return
+        if message.target_group != dest_group:
+            return
+        if dest_group == BASE_GROUP:
+            self._on_base_group(message)
+            return
+        driver = self._passive_drivers.get(dest_group)
+        if driver is not None:
+            driver.on_message(message)
+            return
+        if message.kind not in (KIND_INVOCATION, KIND_RESPONSE):
+            return
+        self._buffer_if_joining(sender_id, seq, dest_group, payload)
+        if dest_group not in self._local_groups:
+            return  # filtered: no replica of the target group here
+        if message.kind == KIND_RESPONSE and message.source_group in self._passive_sources:
+            # A passive primary answers alone; there is nothing to vote
+            # on — which is precisely why passive replication cannot
+            # mask value faults (paper section 5).
+            self._deliver_without_voting(message)
+            return
+        if self.voting_enabled:
+            self._vote_on_copy(message)
+        else:
+            self._deliver_without_voting(message)
+
+    def _op_key(self, message):
+        return (message.kind, message.source_group, message.target_group, message.op_num)
+
+    def _vote_on_copy(self, message):
+        voter = self._voters[message.target_group]
+        outcome = voter.add_copy(
+            message.source_group, self._op_key(message), message.replica_proc, message.body
+        )
+        if outcome is None:
+            return
+        if isinstance(outcome, VoteDecision):
+            if outcome.faulty_senders:
+                self._publish_value_fault(message, outcome.vote_set)
+            self._deliver_operation(message, outcome.body)
+        elif isinstance(outcome, LateFault):
+            self._publish_value_fault(message, outcome.vote_set)
+
+    def _deliver_without_voting(self, message):
+        dup = self._dup_filters[message.target_group]
+        if dup.mark_delivered(self._op_key(message)):
+            self._deliver_operation(message, message.body)
+
+    def _deliver_operation(self, message, body):
+        if self._orb is None:
+            raise ReplicationError("Replication Manager has no bound ORB")
+        self.processor.charge(INTERCEPTION_COST, "rm.deliver")
+        self.stats["delivered_to_orb"] += 1
+        if message.kind == KIND_INVOCATION:
+            reply_sink = self._response_sink(
+                message.source_group, message.op_num, message.target_group
+            )
+            if self._trace is not None:
+                self._trace.record(
+                    "rm.deliver_invocation",
+                    proc=self.my_id,
+                    source=message.source_group,
+                    target=message.target_group,
+                    op_num=message.op_num,
+                )
+            self._orb.deliver_frame(body, reply_sink)
+            return
+        # A voted response: correlate back to this replica's original
+        # GIOP request id before handing it to the ORB.
+        original_id = self._reply_map.pop(
+            (message.target_group, message.op_num), None
+        )
+        if original_id is None:
+            return  # we never issued this invocation (or already replied)
+        try:
+            reply = decode_message(body)
+        except GiopError:
+            return
+        if not isinstance(reply, ReplyMessage):
+            return
+        restored = ReplyMessage(original_id, reply.reply_status, reply.body).encode()
+        if self._trace is not None:
+            self._trace.record(
+                "rm.deliver_response",
+                proc=self.my_id,
+                client=message.target_group,
+                op_num=message.op_num,
+            )
+        self._orb.deliver_frame(restored, None)
+
+    # ------------------------------------------------------------------
+    # value faults
+    # ------------------------------------------------------------------
+
+    def _publish_value_fault(self, message, vote_set):
+        vote = ValueFaultVote(
+            reporter=self.my_id,
+            source_group=message.source_group,
+            op_num=message.op_num,
+            target_group=message.target_group,
+            entries=vote_set,
+        )
+        wrapped = ImmuneMessage(
+            KIND_VALUE_FAULT_VOTE,
+            message.source_group,
+            message.op_num,
+            self.my_id,
+            BASE_GROUP,
+            vote.encode(),
+        )
+        self.stats["value_fault_votes_sent"] += 1
+        if self._trace is not None:
+            self._trace.record(
+                "rm.value_fault_vote",
+                proc=self.my_id,
+                source=message.source_group,
+                op_num=message.op_num,
+            )
+        self.endpoint.multicast(BASE_GROUP, wrapped.encode())
+
+    # ------------------------------------------------------------------
+    # base group traffic
+    # ------------------------------------------------------------------
+
+    def _on_base_group(self, message):
+        if message.kind == KIND_VALUE_FAULT_VOTE:
+            try:
+                vote = ValueFaultVote.decode(message.body)
+            except ValueFaultCodecError:
+                return
+            self._vfd.on_vote(vote)
+        elif message.kind == KIND_GROUP_UPDATE:
+            try:
+                update = GroupUpdate.decode(message.body)
+            except GroupError:
+                return
+            self.groups.apply(update)
+        elif message.kind == KIND_STATE_TRANSFER:
+            self._on_state_transfer(message)
+
+    # ------------------------------------------------------------------
+    # processor membership changes
+    # ------------------------------------------------------------------
+
+    def _on_membership_change(self, ring_id, members, excluded):
+        for pid in excluded:
+            affected = self.groups.remove_processor(pid)
+            if self._trace is not None:
+                self._trace.record(
+                    "rm.exclusion",
+                    proc=self.my_id,
+                    excluded=pid,
+                    groups=tuple(affected),
+                )
+            for fn in list(self._exclusion_listeners):
+                fn(pid, affected)
+        # Shrunken degrees may unblock pending votes.
+        for group_name in sorted(self._voters):
+            voter = self._voters[group_name]
+            for decision in voter.reconsider():
+                kind, source_group, target_group, op_num = decision.op_key
+                replica = ImmuneMessage(
+                    kind, source_group, op_num, self.my_id, target_group, decision.body
+                )
+                if decision.faulty_senders:
+                    self._publish_value_fault(replica, decision.vote_set)
+                self._deliver_operation(replica, decision.body)
+
+    # ------------------------------------------------------------------
+    # replica reallocation via state transfer (section 3.1: "replicas
+    # that are lost due to a Byzantine processor must be reallocated to
+    # correct processors")
+    # ------------------------------------------------------------------
+
+    def request_join(self, group_name, factory_and_register):
+        """Start joining ``group_name`` on this processor.
+
+        ``factory_and_register(state_bytes)`` must create the local
+        servant from the checkpointed state and activate it on the ORB;
+        the manager handles ordering: it buffers the group's operations
+        from the join marker onward and replays them once the state
+        checkpoint arrives.
+        """
+        self._join_factories[group_name] = factory_and_register
+        self._join_buffers[group_name] = []
+        marker = ImmuneMessage(
+            KIND_STATE_TRANSFER, group_name, 0, self.my_id, BASE_GROUP, b"\x00"
+        )
+        self.endpoint.multicast(BASE_GROUP, marker.encode())
+
+    def _buffer_if_joining(self, sender_id, seq, dest_group, payload):
+        buffer = self._join_buffers.get(dest_group)
+        if buffer is not None and dest_group not in self._local_groups:
+            buffer.append((sender_id, seq, dest_group, payload))
+
+    def _on_state_transfer(self, message):
+        group_name = message.source_group
+        phase = message.body[:1]
+        if phase == b"\x00":
+            self._on_join_marker(group_name, joiner=message.replica_proc)
+        elif phase == b"\x01":
+            self._on_state_checkpoint(group_name, message.body[1:], joiner=message.op_num)
+
+    def _on_join_marker(self, group_name, joiner):
+        members = self.groups.members(group_name)
+        if not members or not self.hosts(group_name):
+            return
+        if self.my_id != members[0]:
+            return  # the lowest surviving member is the donor
+        state = self._capture_state(group_name)
+        if state is None:
+            return
+        checkpoint = ImmuneMessage(
+            KIND_STATE_TRANSFER,
+            group_name,
+            joiner,
+            self.my_id,
+            BASE_GROUP,
+            b"\x01" + state,
+        )
+        self.endpoint.multicast(BASE_GROUP, checkpoint.encode())
+
+    def _capture_state(self, group_name):
+        skeleton = self._orb.adapter.skeleton(group_name.encode("utf-8"))
+        if skeleton is None:
+            return None
+        servant = skeleton.servant
+        get_state = getattr(servant, "get_state", None)
+        if get_state is None:
+            return None
+        from repro.orb.cdr import CdrEncoder
+
+        encoder = CdrEncoder()
+        encoder.write("ulonglong", self._op_counters.get(group_name, 0))
+        encoder.write("octets", get_state())
+        return encoder.getvalue()
+
+    def _on_state_checkpoint(self, group_name, state, joiner):
+        if joiner != self.my_id:
+            # Another processor is joining; update our table when its
+            # GroupUpdate arrives (sent by the joiner below).
+            return
+        factory = self._join_factories.pop(group_name, None)
+        if factory is None:
+            return
+        from repro.orb.cdr import CdrDecoder
+
+        decoder = CdrDecoder(state)
+        op_counter = decoder.read("ulonglong")
+        servant_state = decoder.read("octets")
+        factory(servant_state)
+        self._op_counters[group_name] = op_counter
+        self.host_replica(group_name)
+        self.groups.add_replica(group_name, self.my_id)
+        # Replay operations delivered between the marker and now.
+        buffered = self._join_buffers.pop(group_name, [])
+        for args in buffered:
+            self._on_deliver(*args)
+        # Announce the join so every manager raises the group's degree.
+        update = GroupUpdate(UPDATE_ADD, group_name, self.my_id)
+        announce = ImmuneMessage(
+            KIND_GROUP_UPDATE, group_name, 0, self.my_id, BASE_GROUP, update.encode()
+        )
+        self.endpoint.multicast(BASE_GROUP, announce.encode())
+        if self._trace is not None:
+            self._trace.record("rm.joined", proc=self.my_id, group=group_name)

@@ -1,0 +1,156 @@
+"""Warm-passive replication — the contrast baseline of section 5.
+
+The paper argues: "Critical applications that must tolerate value
+faults, in addition to crash faults, require majority voting and, thus,
+the use of active replication for every object of the application."
+This module implements the alternative — warm-passive replication — so
+the claim can be *demonstrated* rather than asserted:
+
+* the group's lowest-numbered surviving member is the primary; it alone
+  executes invocations and multicasts the responses (no voting);
+* after every invocation the primary multicasts a state checkpoint
+  through the same total order; backups apply it to their (idle)
+  servants, staying warm;
+* when the primary's processor is excluded, the next member takes over
+  seamlessly — its state is current as of the last checkpoint, and the
+  total order ensures every backup promoted at the same cut.
+
+Passive replication survives *crashes* with one-third the execution
+cost of active replication, but a corrupted primary's wrong answer goes
+straight to the clients: there is nothing to outvote it.  The ablation
+bench (`benchmarks/test_ablation_passive_vs_active.py`) injects the
+same value fault into both modes and shows active+voting masking it
+while passive delivers the corruption.
+"""
+
+from repro.core.duplicates import DuplicateFilter
+from repro.core.identifiers import (
+    ImmuneMessage,
+    KIND_PASSIVE_UPDATE,
+    KIND_RESPONSE,
+)
+from repro.orb.giop import GiopError, RequestMessage, decode_message
+
+#: simulated CPU cost of applying one state checkpoint at a backup
+CHECKPOINT_APPLY_COST = 25e-6
+
+
+class PassiveGroupDriver:
+    """Passive-replication behaviour for one group, on one manager.
+
+    Installed by :meth:`ImmuneSystem.deploy_passive`; the Replication
+    Manager delegates the group's inbound traffic here instead of to a
+    voter.
+    """
+
+    def __init__(self, manager, group_name, servant_getter):
+        self.manager = manager
+        self.group_name = group_name
+        #: returns the local servant instance (for checkpointing)
+        self._servant_getter = servant_getter
+        self._dup = DuplicateFilter()
+        self.stats = {"executed": 0, "checkpoints_sent": 0, "checkpoints_applied": 0}
+
+    # ------------------------------------------------------------------
+    # role
+    # ------------------------------------------------------------------
+
+    def is_primary(self):
+        members = self.manager.groups.members(self.group_name)
+        return bool(members) and members[0] == self.manager.my_id
+
+    # ------------------------------------------------------------------
+    # inbound traffic for the passive group
+    # ------------------------------------------------------------------
+
+    def on_message(self, message):
+        if message.kind == KIND_PASSIVE_UPDATE:
+            self._apply_checkpoint(message)
+            return
+        op_key = (message.kind, message.source_group, message.target_group, message.op_num)
+        if not self._dup.mark_delivered(op_key):
+            return
+        if not self.is_primary():
+            return  # backups stay warm through checkpoints only
+        self._execute(message)
+
+    def _execute(self, message):
+        manager = self.manager
+        self.stats["executed"] += 1
+        manager.processor.charge(25e-6, "rm.passive")
+        if self.needs_checkpoint_for_oneway(message.body):
+            manager._orb.deliver_frame(message.body, None)
+            # The dispatch is queued on the application lane; queue the
+            # checkpoint right behind it so it captures the post-op state.
+            manager.processor.execute(
+                1e-6, self.checkpoint_after_oneway, category="rm.passive"
+            )
+        else:
+            manager._orb.deliver_frame(message.body, self._checkpointing_sink(message))
+
+    def _checkpointing_sink(self, message):
+        manager = self.manager
+        inner = manager._response_sink(
+            message.source_group, message.op_num, message.target_group
+        )
+
+        def send_response_and_checkpoint(reply_frame):
+            inner(reply_frame)
+            state = self._capture_state()
+            if state is None:
+                return
+            self.stats["checkpoints_sent"] += 1
+            checkpoint = ImmuneMessage(
+                KIND_PASSIVE_UPDATE,
+                self.group_name,
+                message.op_num,
+                manager.my_id,
+                self.group_name,
+                state,
+            )
+            manager.endpoint.multicast(self.group_name, checkpoint.encode())
+
+        return send_response_and_checkpoint
+
+    def _capture_state(self):
+        servant = self._servant_getter()
+        get_state = getattr(servant, "get_state", None)
+        return None if get_state is None else get_state()
+
+    def _apply_checkpoint(self, message):
+        # The primary's own checkpoint echoes back; only backups apply.
+        if message.replica_proc == self.manager.my_id:
+            return
+        servant = self._servant_getter()
+        set_state = getattr(servant, "set_state", None)
+        if set_state is None:
+            return
+        self.manager.processor.charge(CHECKPOINT_APPLY_COST, "rm.passive")
+        self.stats["checkpoints_applied"] += 1
+        set_state(message.body)
+
+    # ------------------------------------------------------------------
+    # oneway invocations need no response but still need checkpoints
+    # ------------------------------------------------------------------
+
+    def needs_checkpoint_for_oneway(self, body):
+        try:
+            request = decode_message(body)
+        except GiopError:
+            return False
+        return isinstance(request, RequestMessage) and not request.response_expected
+
+    def checkpoint_after_oneway(self):
+        state = self._capture_state()
+        if state is None:
+            return
+        self.stats["checkpoints_sent"] += 1
+        checkpoint = ImmuneMessage(
+            KIND_PASSIVE_UPDATE,
+            self.group_name,
+            0,
+            self.manager.my_id,
+            self.group_name,
+            state,
+        )
+        self.manager.endpoint.multicast(self.group_name, checkpoint.encode())

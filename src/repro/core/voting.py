@@ -1,0 +1,134 @@
+"""Majority voting on invocations and responses (paper section 6.1).
+
+One :class:`Voter` serves each object group hosted locally: ``V_I`` for
+invocations arriving at a server replica, ``V_R`` for responses
+arriving at a client replica — both are instances of the same
+algorithm, differing only in which direction they face.
+
+For each operation identifier the voter tallies the *distinct* sending
+replicas behind each value (values compared by digest of the normalised
+frame).  When some value accumulates ``ceil((r+1)/2)`` distinct senders
+— a majority of the source group's ``r`` replicas, learned from the
+base group — the voter produces that single value for delivery, and
+reports every sender whose copy differed as a value-fault candidate.
+Copies arriving after the decision are discarded (duplicates) or
+reported (late divergent values).
+
+The algorithm is deterministic and sees the same totally-ordered copies
+at every replica, so every voter produces the same result for every
+operation — the property the paper's value fault detector requires.
+"""
+
+
+class VoteDecision:
+    """The outcome of a completed vote."""
+
+    __slots__ = ("op_key", "body", "winning_digest", "faulty_senders", "vote_set")
+
+    def __init__(self, op_key, body, winning_digest, faulty_senders, vote_set):
+        self.op_key = op_key
+        self.body = body
+        self.winning_digest = winning_digest
+        #: senders whose copies differed from the majority value
+        self.faulty_senders = faulty_senders
+        #: the full set of (sender, digest) pairs voted on
+        self.vote_set = vote_set
+
+    def __repr__(self):
+        return "VoteDecision(%s, %d faulty)" % (self.op_key, len(self.faulty_senders))
+
+
+class LateFault:
+    """A divergent copy that arrived after the vote was decided."""
+
+    __slots__ = ("op_key", "sender", "digest", "vote_set")
+
+    def __init__(self, op_key, sender, digest, vote_set):
+        self.op_key = op_key
+        self.sender = sender
+        self.digest = digest
+        self.vote_set = vote_set
+
+
+class Voter:
+    """Majority voter for one locally-hosted target group."""
+
+    def __init__(self, target_group, group_table, digest_fn):
+        self.target_group = target_group
+        self._groups = group_table
+        self._digest_fn = digest_fn
+        #: op_key -> {"by_digest": {digest: set(senders)},
+        #:            "body": {digest: bytes}}
+        self._pending = {}
+        #: op_key -> (winning digest, vote set at decision time)
+        self._decided = {}
+        self.stats = {"copies": 0, "decisions": 0, "late_duplicates": 0, "faults_seen": 0}
+
+    def add_copy(self, source_group, op_num, sender, body):
+        """Tally one copy; returns VoteDecision, LateFault, or None."""
+        if sender not in self._groups.members(source_group):
+            return None  # not a replica of the claimed source group
+        op_key = (source_group, op_num)
+        digest = self._digest_fn(body)
+        self.stats["copies"] += 1
+
+        decided = self._decided.get(op_key)
+        if decided is not None:
+            winning_digest, vote_set = decided
+            if digest == winning_digest:
+                self.stats["late_duplicates"] += 1
+                return None
+            self.stats["faults_seen"] += 1
+            vote_set = vote_set + ((sender, digest),)
+            self._decided[op_key] = (winning_digest, vote_set)
+            return LateFault(op_key, sender, digest, vote_set)
+
+        entry = self._pending.setdefault(op_key, {"by_digest": {}, "body": {}})
+        entry["by_digest"].setdefault(digest, set()).add(sender)
+        entry["body"].setdefault(digest, body)
+        return self._evaluate(op_key, source_group)
+
+    def _evaluate(self, op_key, source_group):
+        entry = self._pending.get(op_key)
+        if entry is None:
+            return None
+        needed = self._groups.majority(source_group)
+        winner = None
+        for digest in sorted(entry["by_digest"]):
+            if len(entry["by_digest"][digest]) >= needed:
+                winner = digest
+                break
+        if winner is None:
+            return None
+        faulty = set()
+        vote_set = []
+        for digest in sorted(entry["by_digest"]):
+            for sender in sorted(entry["by_digest"][digest]):
+                vote_set.append((sender, digest))
+                if digest != winner:
+                    faulty.add(sender)
+        if faulty:
+            self.stats["faults_seen"] += len(faulty)
+        body = entry["body"][winner]
+        del self._pending[op_key]
+        self._decided[op_key] = (winner, tuple(vote_set))
+        self.stats["decisions"] += 1
+        return VoteDecision(op_key, body, winner, faulty, tuple(vote_set))
+
+    def reconsider(self):
+        """Re-evaluate pending votes after a degree change.
+
+        When an excluded processor's replicas are dropped from a source
+        group, the majority threshold shrinks and previously-stuck
+        votes may now be decidable.  Returns the resulting decisions.
+        """
+        decisions = []
+        for op_key in sorted(self._pending):
+            source_group, _ = op_key
+            decision = self._evaluate(op_key, source_group)
+            if decision is not None:
+                decisions.append(decision)
+        return decisions
+
+    def pending_count(self):
+        return len(self._pending)

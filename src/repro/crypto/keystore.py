@@ -1,0 +1,91 @@
+"""Per-processor key material and signing/digesting services.
+
+Every processor "possesses a private key known only to itself with
+which it can digitally sign messages" and "is able to obtain the public
+keys of other processors" (paper section 7).  :class:`KeyStore` models
+the public-key directory; :class:`SigningService` is the per-processor
+facade that the token protocol calls, and is the single point where
+*simulated* CPU time for crypto work is charged to the local processor
+via the cost model.
+"""
+
+from repro.crypto.md4 import md4_digest
+from repro.crypto.rsa import generate_keypair
+
+
+class KeyStore:
+    """A directory of every processor's public key.
+
+    A real deployment would bootstrap this from a certificate
+    authority; the simulation generates all key pairs up front from the
+    experiment seed.  Private keys never leave the store except through
+    the owning processor's :class:`SigningService` — a Byzantine
+    processor cannot sign as anyone else, which is exactly the
+    authentication property the protocols rely on.
+    """
+
+    def __init__(self, rng, modulus_bits=300, digest_fn=md4_digest):
+        self._rng = rng
+        self.modulus_bits = modulus_bits
+        self.digest_fn = digest_fn
+        self._keypairs = {}
+
+    def provision(self, proc_id):
+        """Generate (or return the existing) key pair for ``proc_id``."""
+        if proc_id not in self._keypairs:
+            self._keypairs[proc_id] = generate_keypair(self._rng, self.modulus_bits)
+        return self._keypairs[proc_id]
+
+    def public_key(self, proc_id):
+        """Public key of ``proc_id``; provisioning on demand."""
+        return self.provision(proc_id).public
+
+    def signing_service(self, processor, cost_model):
+        """Build the :class:`SigningService` for one processor."""
+        keypair = self.provision(processor.proc_id)
+        return SigningService(processor, keypair, self, cost_model)
+
+
+class SigningService:
+    """Crypto operations bound to one processor's CPU and private key.
+
+    Crypto work is charged to the CPU's *priority* lane: in the Immune
+    system the Secure Multicast Protocols (and their signatures) run
+    below the ORB and preempt application processing.
+    """
+
+    def __init__(self, processor, keypair, keystore, cost_model):
+        self.processor = processor
+        self._keypair = keypair
+        self._keystore = keystore
+        self.cost_model = cost_model
+
+    @property
+    def digest_fn(self):
+        """The raw digest function (no CPU charging) for structural hashing."""
+        return self._keystore.digest_fn
+
+    def digest(self, data):
+        """MD4 digest of ``data``, charging simulated digest time."""
+        self.processor.charge(
+            self.cost_model.digest_cost(len(data)), "crypto.digest", priority=True
+        )
+        return self._keystore.digest_fn(data)
+
+    def sign(self, data):
+        """Sign ``digest(data)``; charges the (dominant) signing cost."""
+        digest = self._keystore.digest_fn(data)
+        self.processor.charge(
+            self.cost_model.digest_cost(len(data)), "crypto.digest", priority=True
+        )
+        self.processor.charge(self.cost_model.sign_cost(), "crypto.sign", priority=True)
+        return self._keypair.sign(digest)
+
+    def verify(self, signer_id, data, signature):
+        """Verify ``signature`` over ``data`` against ``signer_id``'s key."""
+        digest = self._keystore.digest_fn(data)
+        self.processor.charge(
+            self.cost_model.digest_cost(len(data)), "crypto.digest", priority=True
+        )
+        self.processor.charge(self.cost_model.verify_cost(), "crypto.verify", priority=True)
+        return self._keystore.public_key(signer_id).verify(digest, signature)

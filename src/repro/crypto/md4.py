@@ -1,0 +1,117 @@
+"""MD4 message digest (RFC 1320).
+
+The Immune system uses MD4 for the message digests carried in the
+token's ``message_digest_list`` field and for the 16-byte digest that
+is RSA-signed to produce the token signature.  This is a from-scratch
+implementation of RFC 1320, validated against the RFC's appendix test
+vectors in ``tests/unit/test_md4.py``.
+
+MD4 is cryptographically broken by modern standards; it is used here
+because reproducing the paper's system faithfully requires the same
+(16-byte, cheap) digest function it used.  Nothing outside this module
+depends on MD4 specifically — :class:`repro.crypto.keystore.KeyStore`
+takes the digest function as a parameter.
+"""
+
+import functools
+import struct
+
+_MASK = 0xFFFFFFFF
+
+# Per-round left-rotation amounts (RFC 1320 section 3.4).
+_ROUND1_SHIFTS = (3, 7, 11, 19)
+_ROUND2_SHIFTS = (3, 5, 9, 13)
+_ROUND3_SHIFTS = (3, 9, 11, 15)
+
+# Word access orders for rounds 2 and 3.
+_ROUND2_ORDER = (0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15)
+_ROUND3_ORDER = (0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15)
+
+_ROUND2_CONSTANT = 0x5A827999
+_ROUND3_CONSTANT = 0x6ED9EBA1
+
+
+def _rotl(value, amount):
+    value &= _MASK
+    return ((value << amount) | (value >> (32 - amount))) & _MASK
+
+
+def _f(x, y, z):
+    return (x & y) | (~x & z)
+
+
+def _g(x, y, z):
+    return (x & y) | (x & z) | (y & z)
+
+
+def _h(x, y, z):
+    return x ^ y ^ z
+
+
+def _pad(message):
+    """RFC 1320 section 3.1-3.2: pad to 448 mod 512 bits, append length."""
+    bit_length = (8 * len(message)) & 0xFFFFFFFFFFFFFFFF
+    padded = message + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    padded += struct.pack("<Q", bit_length)
+    return padded
+
+
+def _process_block(state, block):
+    x = struct.unpack("<16I", block)
+    a, b, c, d = state
+
+    # Round 1.
+    for i in range(16):
+        shift = _ROUND1_SHIFTS[i % 4]
+        a, b, c, d = d, _rotl(a + _f(b, c, d) + x[i], shift), b, c
+        # After the rotation the roles cycle: the new value becomes the
+        # next round-robin register.  The tuple assignment above rotates
+        # (a, b, c, d) -> (d, new, b, c), matching the RFC's
+        # [ABCD k s] ... [DABC k s] ... pattern.
+
+    # Round 2.
+    for i in range(16):
+        k = _ROUND2_ORDER[i]
+        shift = _ROUND2_SHIFTS[i % 4]
+        a, b, c, d = d, _rotl(a + _g(b, c, d) + x[k] + _ROUND2_CONSTANT, shift), b, c
+
+    # Round 3.
+    for i in range(16):
+        k = _ROUND3_ORDER[i]
+        shift = _ROUND3_SHIFTS[i % 4]
+        a, b, c, d = d, _rotl(a + _h(b, c, d) + x[k] + _ROUND3_CONSTANT, shift), b, c
+
+    return (
+        (state[0] + a) & _MASK,
+        (state[1] + b) & _MASK,
+        (state[2] + c) & _MASK,
+        (state[3] + d) & _MASK,
+    )
+
+
+@functools.lru_cache(maxsize=8192)
+def _md4_digest_cached(message):
+    state = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+    padded = _pad(message)
+    for offset in range(0, len(padded), 64):
+        state = _process_block(state, padded[offset : offset + 64])
+    return struct.pack("<4I", *state)
+
+
+def md4_digest(message):
+    """Return the 16-byte MD4 digest of ``message`` (bytes).
+
+    Results are memoised: in a simulation the same frame is digested
+    at every receiver, and MD4 is a pure function of its input, so the
+    cache changes nothing semantically.  (Simulated CPU time for the
+    computation is charged by the cost model regardless.)
+    """
+    if not isinstance(message, (bytes, bytearray)):
+        raise TypeError("md4_digest expects bytes, got %r" % type(message))
+    return _md4_digest_cached(bytes(message))
+
+
+def md4_hexdigest(message):
+    """Return the MD4 digest of ``message`` as a lowercase hex string."""
+    return md4_digest(message).hex()

@@ -1,0 +1,121 @@
+"""RSA signatures over message digests.
+
+The Immune system signs each token by "RSA decrypting a message digest
+using the private key" and verifies by "RSA encrypting the signature
+using the public key" (paper section 8) — i.e. a plain RSA signature
+over a fixed-size 16-byte digest, as CryptoLib provided.  The paper's
+measurements use a 300-bit modulus; that is the default here, and the
+key-size ablation bench sweeps it.
+
+The digest is deterministically padded into a full-width integer
+(a simplified PKCS#1 v1.5 block: ``0x00 0x01 0xFF.. 0x00 digest``) so
+that forging a signature for a different digest requires inverting RSA
+within the simulation — mutant tokens injected by the adversary module
+genuinely fail verification.
+"""
+
+from repro.crypto.primes import generate_prime
+
+
+class CryptoError(Exception):
+    """Raised on malformed keys, digests, or signatures."""
+
+
+def _egcd(a, b):
+    if a == 0:
+        return b, 0, 1
+    g, x, y = _egcd(b % a, a)
+    return g, y - (b // a) * x, x
+
+
+def _modinv(a, m):
+    g, x, _ = _egcd(a % m, m)
+    if g != 1:
+        raise CryptoError("modular inverse does not exist")
+    return x % m
+
+
+def _pad_digest(digest, modulus_bytes):
+    """Embed a digest in a PKCS#1-style block sized to the modulus."""
+    if len(digest) + 3 > modulus_bytes:
+        raise CryptoError(
+            "digest of %d bytes does not fit %d-byte modulus"
+            % (len(digest), modulus_bytes)
+        )
+    padding = b"\xff" * (modulus_bytes - len(digest) - 3)
+    return b"\x00\x01" + padding + b"\x00" + digest
+
+
+class RsaPublicKey:
+    """The verification half of an RSA key pair."""
+
+    def __init__(self, n, e):
+        self.n = n
+        self.e = e
+        self.modulus_bits = n.bit_length()
+        self.modulus_bytes = (self.modulus_bits + 7) // 8
+
+    def verify(self, digest, signature):
+        """True iff ``signature`` is a valid signature of ``digest``."""
+        if not isinstance(signature, int):
+            raise CryptoError("signature must be an int, got %r" % type(signature))
+        if not 0 <= signature < self.n:
+            return False
+        recovered = pow(signature, self.e, self.n)
+        try:
+            expected = int.from_bytes(_pad_digest(digest, self.modulus_bytes), "big")
+        except CryptoError:
+            return False
+        return recovered == expected
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, RsaPublicKey) and self.n == other.n and self.e == other.e
+        )
+
+    def __hash__(self):
+        return hash((self.n, self.e))
+
+    def __repr__(self):
+        return "RsaPublicKey(%d bits)" % self.modulus_bits
+
+
+class RsaKeyPair:
+    """A private signing key together with its public half."""
+
+    def __init__(self, n, e, d):
+        self.public = RsaPublicKey(n, e)
+        self._d = d
+
+    def sign(self, digest):
+        """Sign a fixed-size digest; returns the signature as an int."""
+        block = _pad_digest(digest, self.public.modulus_bytes)
+        return pow(int.from_bytes(block, "big"), self._d, self.public.n)
+
+    def __repr__(self):
+        return "RsaKeyPair(%d bits)" % self.public.modulus_bits
+
+
+def generate_keypair(rng, modulus_bits=300):
+    """Generate an RSA key pair with a modulus of ``modulus_bits`` bits.
+
+    300 bits matches the paper's measurement configuration.  The public
+    exponent is 65537 when coprime to phi, falling back to smaller
+    Fermat primes for unusual phi values.
+    """
+    if modulus_bits < 200:
+        raise CryptoError("modulus of %d bits cannot hold a padded MD4 digest" % modulus_bits)
+    half = modulus_bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(modulus_bits - half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != modulus_bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        for e in (65537, 257, 17, 5, 3):
+            if phi % e != 0:
+                d = _modinv(e, phi)
+                return RsaKeyPair(n, e, d)

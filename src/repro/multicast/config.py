@@ -1,0 +1,98 @@
+"""Configuration of the Secure Multicast Protocols.
+
+The four cases of the paper's Figure 7 differ in which protocol
+mechanisms are active; :class:`SecurityLevel` names the three levels
+that involve the multicast stack (case 1 bypasses it entirely):
+
+* ``NONE`` — reliable totally ordered multicast only: no message
+  digests, no token signatures (case 2);
+* ``DIGESTS`` — MD4 digests of every message carried in the token
+  (case 3);
+* ``SIGNATURES`` — digests plus RSA-signed tokens with previous-token
+  digest chaining (case 4).
+"""
+
+import enum
+
+
+class SecurityLevel(enum.Enum):
+    NONE = "none"
+    DIGESTS = "digests"
+    SIGNATURES = "signatures"
+
+    @property
+    def digests_enabled(self):
+        return self in (SecurityLevel.DIGESTS, SecurityLevel.SIGNATURES)
+
+    @property
+    def signatures_enabled(self):
+        return self is SecurityLevel.SIGNATURES
+
+
+def required_correct(n):
+    """Minimum correct processors in a system of ``n`` (paper section 3.1)."""
+    return -(-(2 * n + 1) // 3)  # ceil((2n+1)/3)
+
+
+def max_faulty(n):
+    """Maximum tolerated faulty processors: k <= floor((n-1)/3)."""
+    return (n - 1) // 3
+
+
+class MulticastConfig:
+    """Tunable parameters of the protocol stack."""
+
+    def __init__(
+        self,
+        security=SecurityLevel.SIGNATURES,
+        max_messages_per_token_visit=6,
+        token_hold_cost=15e-6,
+        token_idle_delay=1.5e-3,
+        idle_activity_window=5e-3,
+        message_handling_cost=20e-6,
+        token_rotation_timeout=None,
+        token_retransmit_limit=3,
+        membership_round_timeout=None,
+        aru_stall_rotations=12,
+    ):
+        self.security = security
+        #: the paper's parameter j: "up to six multicast messages are
+        #: sent with each token visit"
+        self.max_messages_per_token_visit = max_messages_per_token_visit
+        #: CPU cost of processing a token visit (excluding crypto)
+        self.token_hold_cost = token_hold_cost
+        #: how long a holder parks the token when the ring is idle
+        #: (Totem-style token retention: bounds idle protocol overhead)
+        self.token_idle_delay = token_idle_delay
+        #: recent-traffic window within which the ring stays at full speed
+        self.idle_activity_window = idle_activity_window
+        #: CPU cost of handling one regular message (excluding crypto)
+        self.message_handling_cost = message_handling_cost
+        #: how long a processor waits for token progress before acting;
+        #: defaults scale with the signature cost at endpoint setup
+        self.token_rotation_timeout = token_rotation_timeout
+        #: token retransmissions attempted before suspicion
+        self.token_retransmit_limit = token_retransmit_limit
+        #: how long a membership round waits for proposals
+        self.membership_round_timeout = membership_round_timeout
+        #: token rotations a processor's aru may stall before it is
+        #: suspected of receive omission
+        self.aru_stall_rotations = aru_stall_rotations
+
+    def resolve_timeouts(self, cost_model, num_processors):
+        """Fill in default timeouts scaled to crypto costs and ring size.
+
+        A token rotation takes roughly ``n`` visits, each dominated by
+        a signature at the SIGNATURES level; timeouts must comfortably
+        exceed that or correct-but-slow processors get suspected,
+        violating eventual strong accuracy.
+        """
+        per_visit = self.token_hold_cost + self.token_idle_delay + 200e-6
+        if self.security.signatures_enabled:
+            per_visit += cost_model.sign_cost() + cost_model.verify_cost() * 2
+        rotation = per_visit * max(num_processors, 2)
+        if self.token_rotation_timeout is None:
+            self.token_rotation_timeout = 8 * rotation
+        if self.membership_round_timeout is None:
+            self.membership_round_timeout = 12 * rotation
+        return self

@@ -1,0 +1,720 @@
+"""The message delivery protocol — secure reliable totally ordered multicast.
+
+A logical ring is imposed on the current processor membership; a token
+circulates and only the holder originates regular messages, each
+stamped with the next ring-wide sequence number.  Total order follows
+from delivering strictly in sequence; reliability from retransmission
+requests (``rtr_list``) carried on the token; integrity/uniqueness from
+MD4 digests of every message carried in the token; and authentication
+of the token itself from an RSA signature plus a digest chain to the
+previous token (``prev_token_digest``).
+
+Delivery rule at security level:
+
+* ``NONE`` — a message is delivered once every earlier sequence number
+  has been delivered (reliable total order only, the paper's case 2);
+* ``DIGESTS`` / ``SIGNATURES`` — additionally, the message bytes must
+  match the digest carried in an accepted token, and the message's
+  claimed sender must be the token holder that originated it, which
+  suppresses corrupted, masqueraded, and mutant messages (cases 3/4).
+
+Mutant *tokens* are handled by evidence exchange: every processor
+stores the raw bytes of recent tokens; on seeing either (a) a second
+validly-signed token for the same visit with different bytes, or (b) a
+successor token whose ``prev_token_digest`` contradicts the stored
+predecessor, it rebroadcasts its stored copy so that every correct
+processor eventually holds two signed mutants and permanently suspects
+the equivocating holder.
+"""
+
+from collections import deque
+
+from repro.multicast.messages import (
+    MULTICAST_PORT,
+    MulticastCodecError,
+    RegularMessage,
+    decode_frame,
+)
+from repro.multicast.token import Token
+
+#: how many token visits' raw bytes are retained for evidence exchange
+#: and membership-change recovery
+_TOKEN_HISTORY = 64
+
+
+class DeliveryProtocol:
+    """One processor's instance of the message delivery protocol."""
+
+    def __init__(
+        self,
+        processor,
+        scheduler,
+        network,
+        signing,
+        config,
+        detector,
+        deliver_cb,
+        trace=None,
+    ):
+        self.processor = processor
+        self.scheduler = scheduler
+        self.network = network
+        self.signing = signing
+        self.config = config
+        self.detector = detector
+        self.deliver_cb = deliver_cb
+        self._trace = trace
+
+        self.my_id = processor.proc_id
+        #: a ring is installed and frames for it are absorbed
+        self.active = False
+        #: token circulation is running (False during reconfiguration:
+        #: frames are still absorbed for recovery, but no tokens are
+        #: originated and no progress timeouts fire)
+        self.circulating = False
+        self.members = ()
+        self.ring_id = 0
+        #: never deliver beyond this seq (None = unlimited); frozen at
+        #: reconfiguration start and raised to the agreed cut so that
+        #: all members deliver exactly the same old-ring prefix
+        self._ceiling = None
+        #: called whenever delivered coverage advances (the membership
+        #: engine uses this to finish recovery)
+        self.coverage_listener = None
+
+        self._send_queue = deque()
+        #: seq -> list of distinct raw message variants (mutant candidates)
+        self._received = {}
+        #: seq -> (digest, originating token sender)
+        self._digest_by_seq = {}
+        #: seq -> visit of the token whose digest list covers it (so
+        #: retransmissions can resend the covering token too — a
+        #: processor that missed the token cannot otherwise verify or
+        #: deliver the message)
+        self._token_covering = {}
+        self._delivered_up_to = 0
+        self._max_seq_seen = 0
+        self._last_accepted = None
+        self._last_accepted_raw = b""
+        self._token_raw_by_visit = {}
+        self._pending_rtr = set()
+        self._progress_timer = None
+        self._strikes = 0
+        self._stall_rotations = 0
+        self._stall_key = None
+        self._last_activity = 0.0
+        self._parked_origination = None
+        #: frames accumulated during one origination, transmitted
+        #: together once the visit's CPU work completes
+        self._outgoing_frames = []
+        #: arus of the most recent full rotation of tokens; messages
+        #: are only garbage-collected below the *minimum* of a full
+        #: window, because the interim aru can exceed a member's
+        #: coverage until that member's next visit lowers it
+        self._recent_arus = deque(maxlen=8)
+        self.stats = {
+            "delivered": 0,
+            "sent": 0,
+            "retransmits": 0,
+            "digest_discards": 0,
+            "token_visits": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start_ring(self, members, ring_id, start_seq):
+        """Begin operating on a freshly installed membership.
+
+        Sequence numbers continue from ``start_seq`` (the agreed
+        delivery cut of the previous ring) so coverage comparisons stay
+        meaningful across reconfigurations.
+        """
+        self.active = True
+        self.circulating = True
+        self._ceiling = None
+        self.members = tuple(sorted(members))
+        self.ring_id = ring_id
+        self._received.clear()
+        self._digest_by_seq.clear()
+        self._token_covering.clear()
+        self._token_raw_by_visit.clear()
+        self._pending_rtr.clear()
+        self._delivered_up_to = start_seq
+        self._max_seq_seen = start_seq
+        self._last_accepted = None
+        self._last_accepted_raw = b""
+        self._strikes = 0
+        self._stall_rotations = 0
+        self._stall_key = None
+        self._last_activity = self.scheduler.now
+        self._parked_origination = None
+        self._recent_arus = deque(maxlen=max(len(self.members), 2))
+        self._reset_progress_timer()
+        if self.my_id == self.members[0]:
+            self._schedule_origination("token.first")
+
+    def suspend(self):
+        """Pause token circulation (a membership change is in progress).
+
+        Frames for the current ring are still absorbed — recovery
+        depends on retransmitted messages and tokens — but no new
+        tokens are originated and progress timeouts stop firing.
+        """
+        self.circulating = False
+        self._cancel_progress_timer()
+
+    def freeze_delivery(self):
+        """Pin the delivery ceiling at the current coverage.
+
+        Called at reconfiguration start so that the coverage a member
+        reports in its proposal cannot change under it; the agreed cut
+        then raises the ceiling again.
+        """
+        self._ceiling = self._delivered_up_to
+
+    def raise_ceiling(self, cut):
+        """Allow delivery up to the agreed cut during recovery."""
+        if self._ceiling is None or cut > self._ceiling:
+            self._ceiling = cut
+        self._advance_delivery()
+
+    # ------------------------------------------------------------------
+    # sending
+    # ------------------------------------------------------------------
+
+    def queue_message(self, dest_group, payload):
+        """Queue ``payload`` for totally-ordered multicast to ``dest_group``."""
+        self._send_queue.append((dest_group, payload))
+        self._last_activity = self.scheduler.now
+        self._release_parked_token()
+
+    def queue_length(self):
+        return len(self._send_queue)
+
+    # ------------------------------------------------------------------
+    # state inspection (used by the membership engine's recovery phase)
+    # ------------------------------------------------------------------
+
+    def deliverable_coverage(self):
+        """Highest seq up to which everything has been delivered here."""
+        return self._delivered_up_to
+
+    def recovery_frames(self, above_seq):
+        """Raw frames (messages + covering tokens) others may be missing."""
+        frames = []
+        for seq in sorted(self._received):
+            if seq > above_seq:
+                frames.extend(self._received[seq])
+        if self.config.security.digests_enabled:
+            for visit in sorted(self._token_raw_by_visit):
+                frames.append(self._token_raw_by_visit[visit])
+        return frames
+
+    # ------------------------------------------------------------------
+    # inbound frames (called by the endpoint after CPU charging)
+    # ------------------------------------------------------------------
+
+    def on_regular(self, message, raw):
+        if not self.active or message.ring_id != self.ring_id:
+            return
+        if message.seq <= self._delivered_up_to:
+            return  # already delivered (a late retransmission)
+        if message.seq > self._max_seq_seen + 4 * self.config.max_messages_per_token_visit:
+            # Far beyond any sequence number a token has vouched for:
+            # either corruption of the seq field or a malicious sender.
+            # The seq horizon is only ever extended by verified tokens —
+            # otherwise one flipped bit would have us request a 2^56
+            # message backlog.
+            return
+        variants = self._received.setdefault(message.seq, [])
+        if raw not in variants:
+            if len(variants) < 3:
+                variants.append(raw)
+        self._last_activity = self.scheduler.now
+        self._advance_delivery()
+
+    def on_token(self, token, raw):
+        if not self.active or token.ring_id != self.ring_id:
+            return
+        security = self.config.security
+        if security.signatures_enabled:
+            if not self.signing.verify(token.sender_id, token.signable_bytes(), token.signature):
+                if self._trace is not None:
+                    self._trace.record(
+                        "token.bad_signature", proc=self.my_id, claimed=token.sender_id
+                    )
+                return
+        if not token.well_formed(self.members):
+            self.detector.suspect(token.sender_id, "malformed_token")
+            return
+        stored = self._token_raw_by_visit.get(token.visit)
+        if stored is not None:
+            if stored == raw:
+                self._reset_progress_timer()  # a benign retransmission
+                return
+            # Two different tokens for the same visit: a mutant.  With
+            # signatures both are provably from the same holder.
+            self.detector.suspect(token.sender_id, "mutant_token")
+            self._rebroadcast_evidence(token.visit)
+            return
+        previous = self._last_accepted
+        if previous is not None and token.visit <= previous.visit:
+            # A token we missed earlier, rebroadcast so we can recover
+            # the digests it carried: absorb it without disturbing the
+            # chain head or the rotation.
+            self._absorb_historical_token(token, raw)
+            return
+        if (
+            security.signatures_enabled
+            and previous is not None
+            and token.visit == previous.visit + 1
+            and token.prev_token_digest != self._digest_of(self._last_accepted_raw)
+        ):
+            # The chain contradicts the predecessor we hold: someone
+            # equivocated.  Publish our copy so everyone can compare.
+            self._rebroadcast_evidence(previous.visit)
+            return
+        self._accept_token(token, raw)
+
+    # ------------------------------------------------------------------
+    # token acceptance and origination
+    # ------------------------------------------------------------------
+
+    def _digest_of(self, data):
+        # Structural hashing for chain comparison; uses the keystore's
+        # digest function without charging (already charged at verify).
+        return self.signing.digest_fn(data)
+
+    def _absorb_historical_token(self, token, raw):
+        """Recover the digest list of a token missed earlier."""
+        self._token_raw_by_visit[token.visit] = raw
+        if self.config.security.digests_enabled:
+            for seq, digest in token.message_digest_list:
+                self._digest_by_seq.setdefault(seq, (digest, token.sender_id))
+                self._token_covering.setdefault(seq, token.visit)
+        self._max_seq_seen = max(self._max_seq_seen, token.seq)
+        self._advance_delivery()
+
+    def _accept_token(self, token, raw):
+        # A *fresh* token from the sender proves it is alive: clear any
+        # transient (timeout-based) suspicion of it.  Historical tokens
+        # replayed by others must not absolve — a crashed processor's
+        # old tokens keep circulating during recovery.
+        self.detector.absolve(token.sender_id)
+        self._last_accepted = token
+        self._last_accepted_raw = raw
+        self._token_raw_by_visit[token.visit] = raw
+        self._prune_token_history(token.visit)
+        self._max_seq_seen = max(self._max_seq_seen, token.seq)
+        self.stats["token_visits"] += 1
+        if self.config.security.digests_enabled:
+            for seq, digest in token.message_digest_list:
+                self._digest_by_seq[seq] = (digest, token.sender_id)
+                self._token_covering[seq] = token.visit
+        self._strikes = 0
+        self._reset_progress_timer()
+        self._track_aru_stall(token)
+        # _advance_delivery can reach the agreed cut of an ongoing
+        # reconfiguration and reentrantly install a new ring (which
+        # resets this protocol's state and re-enables circulation).
+        # The origination check below must therefore re-validate that
+        # *this* token's ring is still the current one.
+        self._advance_delivery()
+        self._collect_garbage(token.aru)
+        if (
+            token.ring_id == self.ring_id
+            and token.successor == self.my_id
+            and self.circulating
+        ):
+            self._schedule_origination("token.originate")
+        if self._trace is not None:
+            self._trace.record(
+                "token.accept",
+                proc=self.my_id,
+                ring=token.ring_id,
+                visit=token.visit,
+                seq=token.seq,
+                aru=token.aru,
+            )
+
+    def _schedule_origination(self, label):
+        """Run token origination after its own CPU cost only.
+
+        Protocol work behaves as higher priority than application work:
+        it *consumes* CPU time (pushing application tasks back) but is
+        not itself delayed by an application backlog.  The paper
+        observes exactly this in case 4: "the computation of the
+        signatures dominates the CPU usage ... effectively reducing the
+        fraction of CPU time allocated to other processing, such as the
+        ORB's batching".
+
+        When the ring has been quiet — nothing to send, nothing to
+        repair, no recent traffic — the holder parks the token for
+        ``token_idle_delay`` (Totem-style token retention) so an idle
+        system is not dominated by protocol overhead.  A message queued
+        while parked releases the token immediately.
+        """
+        if self._ring_is_idle():
+            self.processor.charge(
+                self.config.token_hold_cost, "multicast.token", priority=True
+            )
+            self._parked_origination = self.scheduler.after(
+                self.config.token_hold_cost + self.config.token_idle_delay,
+                self._originate_token,
+                self.ring_id,
+                label=label + ".parked",
+            )
+            return
+        self._parked_origination = None
+        self.processor.execute(
+            self.config.token_hold_cost,
+            self._originate_token,
+            self.ring_id,
+            category="multicast.token",
+            label=label,
+            priority=True,
+        )
+
+    def _transmit_frames(self, frames):
+        if self.processor.crashed:
+            return
+        for raw in frames:
+            self.network.broadcast(self.my_id, MULTICAST_PORT, raw)
+
+    def _ring_is_idle(self):
+        if self._send_queue or self._pending_rtr:
+            return False
+        if self._delivered_up_to < self._max_seq_seen:
+            return False
+        previous = self._last_accepted
+        if previous is not None and (previous.rtr_list or previous.aru < previous.seq):
+            return False
+        recent = self.scheduler.now - self._last_activity
+        return recent >= self.config.idle_activity_window
+
+    def _release_parked_token(self):
+        """A message was queued while the token was parked: release it."""
+        parked = self._parked_origination
+        if parked is not None and not parked.cancelled:
+            parked.cancel()
+            self._parked_origination = None
+            self.scheduler.after(0.0, self._originate_token, self.ring_id, label="token.release")
+
+    def _originate_token(self, expected_ring_id):
+        self._parked_origination = None
+        if not self.active or not self.circulating or self.ring_id != expected_ring_id:
+            return
+        previous = self._last_accepted
+        if previous is not None and previous.successor != self.my_id:
+            return  # superseded while we waited for the CPU
+        rtr_in = set(previous.rtr_list) if previous is not None else set()
+        rtr_in |= self._pending_rtr
+        self._outgoing_frames = []
+        rtg = self._service_retransmissions(rtr_in)
+        digest_list = self._send_new_messages()
+        my_gaps = self._missing_seqs()
+        rtr_out = sorted((rtr_in - set(rtg)) | my_gaps)
+        aru, aru_id = self._update_aru(previous)
+        token = Token(
+            sender_id=self.my_id,
+            ring_id=self.ring_id,
+            visit=(previous.visit + 1) if previous is not None else 1,
+            seq=self._max_seq_seen,
+            aru=aru,
+            aru_id=aru_id,
+            successor=self._successor_of(self.my_id),
+            rtr_list=rtr_out,
+            rtg_list=sorted(rtg),
+            message_digest_list=digest_list,
+            prev_token_digest=(
+                self._digest_of(self._last_accepted_raw) if previous is not None else b""
+            ),
+        )
+        if self.config.security.signatures_enabled:
+            token.signature = self.signing.sign(token.signable_bytes())
+        raw = token.encode()
+        # The visit's frames (retransmissions, new messages, then the
+        # token — Figure 6 of the paper) leave the processor only once
+        # the CPU has actually finished the visit's protocol work, so
+        # signature generation genuinely paces the ring in case 4.
+        self._outgoing_frames.append(raw)
+        frames = self._outgoing_frames
+        self._outgoing_frames = []
+        send_at = self.processor.prio_free_at
+        if send_at <= self.scheduler.now:
+            self._transmit_frames(frames)
+        else:
+            self.scheduler.at(send_at, self._transmit_frames, frames, label="token.transmit")
+        # Treat our own token as accepted so the chain continues from it.
+        self._last_accepted = token
+        self._last_accepted_raw = raw
+        self._token_raw_by_visit[token.visit] = raw
+        for seq, _ in digest_list:
+            self._token_covering[seq] = token.visit
+        self._prune_token_history(token.visit)
+        self.stats["token_visits"] += 1
+        self._pending_rtr.clear()
+        self._strikes = 0
+        self._reset_progress_timer()
+        self._advance_delivery()
+        if self._trace is not None:
+            self._trace.record(
+                "token.send",
+                proc=self.my_id,
+                ring=self.ring_id,
+                visit=token.visit,
+                seq=token.seq,
+                aru=token.aru,
+            )
+
+    def _send_new_messages(self):
+        digest_list = []
+        budget = self.config.max_messages_per_token_visit
+        while self._send_queue and budget > 0:
+            dest_group, payload = self._send_queue.popleft()
+            seq = self._max_seq_seen + 1
+            message = RegularMessage(self.my_id, self.ring_id, seq, dest_group, payload)
+            raw = message.encode()
+            self.processor.charge(
+                self.config.message_handling_cost, "multicast.send", priority=True
+            )
+            if self.config.security.digests_enabled:
+                digest = self.signing.digest(raw)
+                digest_list.append((seq, digest))
+                self._digest_by_seq[seq] = (digest, self.my_id)
+                # covering visit recorded below once the token is built
+            self._outgoing_frames.append(raw)
+            self._received.setdefault(seq, []).append(raw)
+            self._max_seq_seen = seq
+            self.stats["sent"] += 1
+            budget -= 1
+        return digest_list
+
+    def _service_retransmissions(self, rtr_in):
+        rtg = []
+        covering_visits = set()
+        for seq in sorted(rtr_in):
+            if seq <= self._delivered_up_to and seq not in self._received:
+                # Delivered and garbage collected everywhere reachable;
+                # cannot service, leave for someone who still holds it.
+                continue
+            variants = self._received.get(seq)
+            if not variants:
+                continue
+            for raw in variants:
+                self._outgoing_frames.append(raw)
+                self.stats["retransmits"] += 1
+            visit = self._token_covering.get(seq)
+            if visit is not None:
+                covering_visits.add(visit)
+            rtg.append(seq)
+        # A requester that missed the covering token cannot verify or
+        # deliver the message: resend those tokens alongside.
+        for visit in sorted(covering_visits):
+            raw = self._token_raw_by_visit.get(visit)
+            if raw is not None:
+                self._outgoing_frames.append(raw)
+        return rtg
+
+    def _missing_seqs(self):
+        """Sequence numbers we cannot deliver yet and must ask for.
+
+        A message is requested both when its bytes were never received
+        *and* when the bytes are here but the token carrying its digest
+        was missed — in that case the servicing holder resends the
+        covering token, without which the message can never be verified
+        or delivered.
+        """
+        missing = set()
+        digests_needed = self.config.security.digests_enabled
+        for seq in range(self._delivered_up_to + 1, self._max_seq_seen + 1):
+            if seq not in self._received:
+                missing.add(seq)
+            elif digests_needed and seq not in self._digest_by_seq:
+                missing.add(seq)
+        return missing
+
+    def _update_aru(self, previous):
+        coverage = self._delivered_up_to
+        if previous is None:
+            return coverage, Token.NO_ARU_ID
+        aru, aru_id = previous.aru, previous.aru_id
+        if coverage < aru:
+            return coverage, self.my_id
+        if aru_id == self.my_id or aru_id == Token.NO_ARU_ID:
+            if coverage < self._max_seq_seen:
+                return coverage, self.my_id
+            return coverage, Token.NO_ARU_ID
+        return aru, aru_id
+
+    def _track_aru_stall(self, token):
+        """Suspect a processor whose aru pins the ring (receive omission)."""
+        if token.aru_id in (Token.NO_ARU_ID, self.my_id) or token.seq <= token.aru:
+            self._stall_key = None
+            self._stall_rotations = 0
+            return
+        key = (token.aru_id, token.aru)
+        if key == self._stall_key:
+            self._stall_rotations += 1
+            window = self.config.aru_stall_rotations * max(len(self.members), 1)
+            if self._stall_rotations >= window:
+                self.detector.suspect(token.aru_id, "fail_to_ack")
+        else:
+            self._stall_key = key
+            self._stall_rotations = 1
+
+    def _successor_of(self, proc_id):
+        index = self.members.index(proc_id)
+        return self.members[(index + 1) % len(self.members)]
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+
+    def _advance_delivery(self):
+        advanced = False
+        while True:
+            if self._ceiling is not None and self._delivered_up_to >= self._ceiling:
+                break
+            seq = self._delivered_up_to + 1
+            variants = self._received.get(seq)
+            if not variants:
+                break
+            raw = self._select_deliverable(seq, variants)
+            if raw is None:
+                break
+            try:
+                message = decode_frame(raw)
+            except MulticastCodecError:
+                # Stored bytes fail to parse (corrupted without digests):
+                # discard and let retransmission repair it.
+                self._received.pop(seq, None)
+                self._pending_rtr.add(seq)
+                break
+            self._delivered_up_to = seq
+            advanced = True
+            self.stats["delivered"] += 1
+            self.processor.charge(
+                self.config.message_handling_cost, "multicast.deliver", priority=True
+            )
+            if self._trace is not None:
+                self._trace.record(
+                    "multicast.deliver",
+                    proc=self.my_id,
+                    ring=self.ring_id,
+                    seq=seq,
+                    sender=message.sender_id,
+                    group=message.dest_group,
+                    digest=self._digest_of(raw),
+                )
+            self.deliver_cb(message.sender_id, seq, message.dest_group, message.payload)
+        if advanced and self.coverage_listener is not None:
+            self.coverage_listener()
+
+    def _select_deliverable(self, seq, variants):
+        """Pick the variant to deliver, honouring the security level."""
+        if not self.config.security.digests_enabled:
+            return variants[0]
+        entry = self._digest_by_seq.get(seq)
+        if entry is None:
+            return None  # no accepted token covers this seq yet
+        digest, token_sender = entry
+        for raw in variants:
+            if self.signing.digest(raw) != digest:
+                continue
+            try:
+                message = decode_frame(raw)
+            except MulticastCodecError:
+                continue
+            if not isinstance(message, RegularMessage):
+                continue
+            if message.sender_id != token_sender:
+                # Masquerade: digest matches but the claimed sender is
+                # not the token holder that originated this seq.
+                continue
+            return raw
+        # Every variant failed the digest check: corrupted or mutant.
+        self._received.pop(seq, None)
+        self._pending_rtr.add(seq)
+        self.stats["digest_discards"] += 1
+        if self._trace is not None:
+            self._trace.record("multicast.digest_discard", proc=self.my_id, seq=seq)
+        return None
+
+    # ------------------------------------------------------------------
+    # housekeeping
+    # ------------------------------------------------------------------
+
+    def _safe_gc_threshold(self, token_aru):
+        self._recent_arus.append(token_aru)
+        if len(self._recent_arus) < self._recent_arus.maxlen:
+            return 0  # no full rotation observed yet: do not collect
+        return min(self._recent_arus)
+
+    def _collect_garbage(self, token_aru):
+        aru = self._safe_gc_threshold(token_aru)
+        for seq in [s for s in self._received if s <= aru and s <= self._delivered_up_to]:
+            del self._received[seq]
+        for seq in [s for s in self._digest_by_seq if s <= aru and s <= self._delivered_up_to]:
+            del self._digest_by_seq[seq]
+            self._token_covering.pop(seq, None)
+
+    def _prune_token_history(self, newest_visit):
+        floor = newest_visit - _TOKEN_HISTORY
+        for visit in [v for v in self._token_raw_by_visit if v < floor]:
+            del self._token_raw_by_visit[visit]
+
+    def _rebroadcast_evidence(self, visit):
+        raw = self._token_raw_by_visit.get(visit)
+        if raw is not None:
+            self.network.broadcast(self.my_id, MULTICAST_PORT, raw)
+
+    # ------------------------------------------------------------------
+    # progress timer (token loss and fail-to-send detection)
+    # ------------------------------------------------------------------
+
+    def _reset_progress_timer(self):
+        self._cancel_progress_timer()
+        if not self.active or not self.circulating:
+            return
+        self._progress_timer = self.scheduler.after(
+            self.config.token_rotation_timeout,
+            self._on_progress_timeout,
+            priority=self.scheduler.PRIORITY_TIMER,
+            label="token.timeout",
+        )
+
+    def _cancel_progress_timer(self):
+        if self._progress_timer is not None:
+            self._progress_timer.cancel()
+            self._progress_timer = None
+
+    def _on_progress_timeout(self):
+        if not self.active or not self.circulating or self.processor.crashed:
+            return
+        self._strikes += 1
+        newest = self._last_accepted
+        if (
+            newest is not None
+            and newest.sender_id == self.my_id
+            and self._strikes <= self.config.token_retransmit_limit
+        ):
+            # We hold the most recent token: retransmit it in case it
+            # was lost on its way to the successor.
+            self.network.broadcast(self.my_id, MULTICAST_PORT, self._last_accepted_raw)
+            self._reset_progress_timer()
+            return
+        if self._strikes <= self.config.token_retransmit_limit:
+            self._reset_progress_timer()
+            return
+        blamed = newest.successor if newest is not None else self.members[0]
+        if blamed == self.my_id:
+            # We are the stalled holder (e.g. our origination raced a
+            # suspension); try again rather than suspecting ourselves.
+            self._reset_progress_timer()
+            self._schedule_origination("token.reoriginate")
+            return
+        self.detector.suspect(blamed, "fail_to_send")
+        self._cancel_progress_timer()

@@ -1,0 +1,304 @@
+"""Wire formats for the Secure Multicast Protocols.
+
+Three kinds of frames travel on the multicast port:
+
+* regular data messages (:class:`RegularMessage`) carrying an opaque
+  payload for a destination object group, stamped with the global
+  total-order sequence number assigned by the token holder;
+* tokens (:mod:`repro.multicast.token`);
+* membership proposals (:class:`MembershipProposal`) exchanged by the
+  processor membership protocol.
+
+Every frame starts with a one-byte frame-type discriminator so a
+receiver can parse without context.  All bodies are CDR-encoded; the
+digest or signature of a frame is always computed over these exact
+bytes, so a bit flipped by the network genuinely invalidates it.
+"""
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder, MarshalError
+
+FRAME_REGULAR = 1
+FRAME_TOKEN = 2
+FRAME_PROPOSAL = 3
+FRAME_COMMIT = 4
+FRAME_JOIN_REQUEST = 5
+
+#: port on which all multicast protocol frames travel
+MULTICAST_PORT = "secure-multicast"
+
+
+class MulticastCodecError(Exception):
+    """Raised when a frame cannot be parsed (corruption, truncation)."""
+
+
+class RegularMessage:
+    """One totally-ordered data message.
+
+    ``seq`` is the ring-wide total-order sequence number the sender
+    assigned while holding the token.  ``sender_id`` names the
+    originating processor; with signatures enabled its truthfulness is
+    enforced by the digest in the *signed* token (a masqueraded message
+    never matches a digest the honest token holder signed).
+    """
+
+    frame_type = FRAME_REGULAR
+
+    __slots__ = ("sender_id", "ring_id", "seq", "dest_group", "payload")
+
+    def __init__(self, sender_id, ring_id, seq, dest_group, payload):
+        self.sender_id = sender_id
+        self.ring_id = ring_id
+        self.seq = seq
+        self.dest_group = dest_group
+        self.payload = payload
+
+    def encode(self):
+        encoder = CdrEncoder()
+        encoder.write("octet", FRAME_REGULAR)
+        encoder.write("ulong", self.sender_id)
+        encoder.write("ulong", self.ring_id)
+        encoder.write("ulonglong", self.seq)
+        encoder.write("string", self.dest_group)
+        encoder.write("octets", self.payload)
+        return encoder.getvalue()
+
+    @classmethod
+    def decode(cls, decoder):
+        return cls(
+            decoder.read("ulong"),
+            decoder.read("ulong"),
+            decoder.read("ulonglong"),
+            decoder.read("string"),
+            decoder.read("octets"),
+        )
+
+    def __repr__(self):
+        return "RegularMessage(from=P%d, ring=%d, seq=%d, group=%s, %d bytes)" % (
+            self.sender_id,
+            self.ring_id,
+            self.seq,
+            self.dest_group,
+            len(self.payload),
+        )
+
+
+class MembershipProposal:
+    """One signed proposal in a membership round.
+
+    ``candidate_set`` is the membership the proposer is willing to
+    install; ``have_contiguous`` reports the highest sequence number
+    below which the proposer holds every message of the old ring (used
+    by the recovery/flush phase); ``round_number`` distinguishes
+    successive shrinking rounds of the same reconfiguration.
+    """
+
+    frame_type = FRAME_PROPOSAL
+
+    __slots__ = (
+        "proposer",
+        "old_ring_id",
+        "round_number",
+        "candidate_set",
+        "have_contiguous",
+        "suspects",
+        "joining",
+        "signature",
+    )
+
+    def __init__(
+        self,
+        proposer,
+        old_ring_id,
+        round_number,
+        candidate_set,
+        have_contiguous,
+        suspects,
+        joining=False,
+        signature=0,
+    ):
+        self.proposer = proposer
+        self.old_ring_id = old_ring_id
+        self.round_number = round_number
+        self.candidate_set = tuple(sorted(candidate_set))
+        self.have_contiguous = have_contiguous
+        self.suspects = tuple(sorted(suspects))
+        #: True when the proposer is (re)joining: it carries no old-ring
+        #: delivery obligations, so its coverage is excluded from the cut
+        self.joining = joining
+        self.signature = signature
+
+    def signable_bytes(self):
+        """The bytes covered by the proposal signature."""
+        encoder = CdrEncoder()
+        encoder.write("ulong", self.proposer)
+        encoder.write("ulong", self.old_ring_id)
+        encoder.write("ulong", self.round_number)
+        encoder.write(("sequence", "ulong"), list(self.candidate_set))
+        encoder.write("ulonglong", self.have_contiguous)
+        encoder.write(("sequence", "ulong"), list(self.suspects))
+        encoder.write("boolean", self.joining)
+        return encoder.getvalue()
+
+    def encode(self):
+        encoder = CdrEncoder()
+        encoder.write("octet", FRAME_PROPOSAL)
+        encoder.write("octets", self.signable_bytes())
+        encoder.write("octets", _int_to_octets(self.signature))
+        return encoder.getvalue()
+
+    @classmethod
+    def decode(cls, decoder):
+        signable = decoder.read("octets")
+        signature = _octets_to_int(decoder.read("octets"))
+        inner = CdrDecoder(signable)
+        proposal = cls(
+            inner.read("ulong"),
+            inner.read("ulong"),
+            inner.read("ulong"),
+            inner.read(("sequence", "ulong")),
+            inner.read("ulonglong"),
+            inner.read(("sequence", "ulong")),
+            joining=inner.read("boolean"),
+            signature=signature,
+        )
+        return proposal
+
+    def __repr__(self):
+        return "MembershipProposal(P%d, ring=%d, round=%d, set=%s)" % (
+            self.proposer,
+            self.old_ring_id,
+            self.round_number,
+            list(self.candidate_set),
+        )
+
+
+class JoinRequest:
+    """A processor asking to (re)join the membership.
+
+    Broadcast periodically by a processor that is not currently a
+    member (a repaired machine, or a correct processor that was
+    excluded during a transient outage).  Signed so that a Byzantine
+    processor cannot inject joins on behalf of others; stamped with the
+    requester's clock so stale replays age out.
+    """
+
+    frame_type = FRAME_JOIN_REQUEST
+
+    __slots__ = ("proc_id", "request_time", "signature")
+
+    def __init__(self, proc_id, request_time, signature=0):
+        self.proc_id = proc_id
+        self.request_time = request_time
+        self.signature = signature
+
+    def signable_bytes(self):
+        encoder = CdrEncoder()
+        encoder.write("ulong", self.proc_id)
+        encoder.write("double", self.request_time)
+        return encoder.getvalue()
+
+    def encode(self):
+        encoder = CdrEncoder()
+        encoder.write("octet", FRAME_JOIN_REQUEST)
+        encoder.write("octets", self.signable_bytes())
+        encoder.write("octets", _int_to_octets(self.signature))
+        return encoder.getvalue()
+
+    @classmethod
+    def decode(cls, decoder):
+        signable = decoder.read("octets")
+        signature = _octets_to_int(decoder.read("octets"))
+        inner = CdrDecoder(signable)
+        return cls(inner.read("ulong"), inner.read("double"), signature)
+
+    def __repr__(self):
+        return "JoinRequest(P%d @ %.3f)" % (self.proc_id, self.request_time)
+
+
+class MembershipCommit:
+    """A self-certifying bundle of the unanimous proposals of one round.
+
+    Once a member observes unanimity it broadcasts the complete set of
+    (signed) proposals as evidence.  Any member — including one whose
+    own proposal traffic was lost — can verify the bundle independently
+    and install the same membership with the same new ring id, which is
+    what keeps installations unique and totally ordered even when
+    individual frames are dropped.
+    """
+
+    frame_type = FRAME_COMMIT
+
+    __slots__ = ("sender_id", "old_ring_id", "round_number", "proposal_frames")
+
+    def __init__(self, sender_id, old_ring_id, round_number, proposal_frames):
+        self.sender_id = sender_id
+        self.old_ring_id = old_ring_id
+        self.round_number = round_number
+        self.proposal_frames = list(proposal_frames)
+
+    def encode(self):
+        encoder = CdrEncoder()
+        encoder.write("octet", FRAME_COMMIT)
+        encoder.write("ulong", self.sender_id)
+        encoder.write("ulong", self.old_ring_id)
+        encoder.write("ulong", self.round_number)
+        encoder.write(("sequence", "octets"), self.proposal_frames)
+        return encoder.getvalue()
+
+    @classmethod
+    def decode(cls, decoder):
+        return cls(
+            decoder.read("ulong"),
+            decoder.read("ulong"),
+            decoder.read("ulong"),
+            decoder.read(("sequence", "octets")),
+        )
+
+    def proposals(self):
+        """Decode the bundled proposals (each is a full proposal frame)."""
+        out = []
+        for frame in self.proposal_frames:
+            inner = CdrDecoder(frame)
+            if inner.read("octet") != FRAME_PROPOSAL:
+                raise MulticastCodecError("commit bundle contains a non-proposal frame")
+            out.append((MembershipProposal.decode(inner), frame))
+        return out
+
+    def __repr__(self):
+        return "MembershipCommit(P%d, ring=%d, round=%d, %d proposals)" % (
+            self.sender_id,
+            self.old_ring_id,
+            self.round_number,
+            len(self.proposal_frames),
+        )
+
+
+def _int_to_octets(value):
+    length = max(1, (value.bit_length() + 7) // 8)
+    return value.to_bytes(length, "big")
+
+
+def _octets_to_int(data):
+    return int.from_bytes(data, "big")
+
+
+def decode_frame(data):
+    """Parse one multicast frame; raises MulticastCodecError on garbage."""
+    from repro.multicast.token import Token  # local import to avoid a cycle
+
+    decoder = CdrDecoder(data)
+    try:
+        frame_type = decoder.read("octet")
+        if frame_type == FRAME_REGULAR:
+            return RegularMessage.decode(decoder)
+        if frame_type == FRAME_TOKEN:
+            return Token.decode(decoder)
+        if frame_type == FRAME_PROPOSAL:
+            return MembershipProposal.decode(decoder)
+        if frame_type == FRAME_COMMIT:
+            return MembershipCommit.decode(decoder)
+        if frame_type == FRAME_JOIN_REQUEST:
+            return JoinRequest.decode(decoder)
+    except MarshalError as exc:
+        raise MulticastCodecError("malformed multicast frame: %s" % exc)
+    raise MulticastCodecError("unknown frame type %d" % frame_type)

@@ -1,0 +1,188 @@
+"""The token of the message delivery protocol.
+
+A logical ring is imposed on the processor membership, and a token
+controls multicasting: only the token holder originates regular
+messages.  The token fields follow Table 3 of the paper exactly:
+
+=====================  ==============================================
+field                  copes with
+=====================  ==============================================
+sender_id, ring_id,    message loss, receive omission, crash
+seq, aru, rtr_list
+message_digest_list    message corruption
+signature,             malicious processors (masquerade, mutant
+prev_token_digest,     tokens, improperly formed tokens)
+rtg_list
+=====================  ==============================================
+
+``visit`` numbers successive token visits so that two *different*
+tokens claiming the same position (mutant tokens) can be recognised by
+any receiver, and ``successor`` names the processor entitled to
+originate the next token.  The signature covers every field except
+itself; ``prev_token_digest`` chains each token to its predecessor so
+that a malicious holder cannot rewrite history it did not create.
+"""
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.multicast.messages import FRAME_TOKEN, _int_to_octets, _octets_to_int
+
+DIGEST_ENTRY_TAG = ("struct", (("seq", "ulonglong"), ("digest", "octets")))
+
+
+class Token:
+    """One visit's token."""
+
+    frame_type = FRAME_TOKEN
+
+    #: sentinel for "no processor is currently pinning the aru"
+    NO_ARU_ID = 0xFFFFFFFF
+
+    __slots__ = (
+        "sender_id",
+        "ring_id",
+        "visit",
+        "seq",
+        "aru",
+        "aru_id",
+        "successor",
+        "rtr_list",
+        "rtg_list",
+        "message_digest_list",
+        "prev_token_digest",
+        "signature",
+    )
+
+    def __init__(
+        self,
+        sender_id,
+        ring_id,
+        visit,
+        seq,
+        aru,
+        successor,
+        aru_id=NO_ARU_ID,
+        rtr_list=(),
+        rtg_list=(),
+        message_digest_list=(),
+        prev_token_digest=b"",
+        signature=0,
+    ):
+        self.sender_id = sender_id
+        self.ring_id = ring_id
+        self.visit = visit
+        self.seq = seq
+        self.aru = aru
+        #: which processor lowered the aru (Totem's aru_id): lets the
+        #: lagging processor raise the aru again once it catches up
+        self.aru_id = aru_id
+        self.successor = successor
+        self.rtr_list = list(rtr_list)
+        self.rtg_list = list(rtg_list)
+        #: list of (seq, digest) pairs for messages originated this visit
+        self.message_digest_list = list(message_digest_list)
+        self.prev_token_digest = prev_token_digest
+        self.signature = signature
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    def signable_bytes(self):
+        """All fields except the signature, in canonical order."""
+        encoder = CdrEncoder()
+        encoder.write("ulong", self.sender_id)
+        encoder.write("ulong", self.ring_id)
+        encoder.write("ulonglong", self.visit)
+        encoder.write("ulonglong", self.seq)
+        encoder.write("ulonglong", self.aru)
+        encoder.write("ulong", self.aru_id)
+        encoder.write("ulong", self.successor)
+        encoder.write(("sequence", "ulonglong"), self.rtr_list)
+        encoder.write(("sequence", "ulonglong"), self.rtg_list)
+        encoder.write(
+            ("sequence", DIGEST_ENTRY_TAG),
+            [{"seq": s, "digest": d} for s, d in self.message_digest_list],
+        )
+        encoder.write("octets", self.prev_token_digest)
+        return encoder.getvalue()
+
+    def encode(self):
+        encoder = CdrEncoder()
+        encoder.write("octet", FRAME_TOKEN)
+        encoder.write("octets", self.signable_bytes())
+        encoder.write("octets", _int_to_octets(self.signature))
+        return encoder.getvalue()
+
+    @classmethod
+    def decode(cls, decoder):
+        signable = decoder.read("octets")
+        signature = _octets_to_int(decoder.read("octets"))
+        inner = CdrDecoder(signable)
+        token = cls(
+            sender_id=inner.read("ulong"),
+            ring_id=inner.read("ulong"),
+            visit=inner.read("ulonglong"),
+            seq=inner.read("ulonglong"),
+            aru=inner.read("ulonglong"),
+            aru_id=inner.read("ulong"),
+            successor=inner.read("ulong"),
+            rtr_list=inner.read(("sequence", "ulonglong")),
+            rtg_list=inner.read(("sequence", "ulonglong")),
+            message_digest_list=[
+                (entry["seq"], entry["digest"])
+                for entry in inner.read(("sequence", DIGEST_ENTRY_TAG))
+            ],
+            prev_token_digest=inner.read("octets"),
+            signature=signature,
+        )
+        return token
+
+    # ------------------------------------------------------------------
+    # integrity checks
+    # ------------------------------------------------------------------
+
+    def digest_for(self, seq):
+        """The digest the token carries for message ``seq``, or None."""
+        for entry_seq, digest in self.message_digest_list:
+            if entry_seq == seq:
+                return digest
+        return None
+
+    def well_formed(self, ring_members):
+        """Structural validity checks (the detector's token-form check).
+
+        Verifies the invariants any correct holder maintains: the
+        sender and successor are ring members, the successor follows
+        the sender on the ring, aru never exceeds seq, and the digest
+        list covers exactly the seq range this visit added.
+        """
+        if self.sender_id not in ring_members:
+            return False
+        if self.successor not in ring_members:
+            return False
+        ordered = sorted(ring_members)
+        expected_successor = ordered[
+            (ordered.index(self.sender_id) + 1) % len(ordered)
+        ]
+        if self.successor != expected_successor:
+            return False
+        if self.aru > self.seq:
+            return False
+        if self.aru_id != self.NO_ARU_ID and self.aru_id not in ring_members:
+            return False
+        digest_seqs = [s for s, _ in self.message_digest_list]
+        if digest_seqs != sorted(digest_seqs):
+            return False
+        if digest_seqs and digest_seqs[-1] > self.seq:
+            return False
+        return True
+
+    def __repr__(self):
+        return "Token(P%d, ring=%d, visit=%d, seq=%d, aru=%d, ->P%d)" % (
+            self.sender_id,
+            self.ring_id,
+            self.visit,
+            self.seq,
+            self.aru,
+            self.successor,
+        )

@@ -1,0 +1,51 @@
+"""A from-scratch mini-CORBA Object Request Broker.
+
+The Immune system's whole premise is that the application and the ORB
+are *unmodified*: survivability is added by intercepting the IIOP
+messages the ORB emits.  To reproduce that, this package implements a
+small but genuine ORB substrate:
+
+* :mod:`repro.orb.cdr` — CDR marshalling with CORBA alignment rules;
+* :mod:`repro.orb.giop` — GIOP 1.0 Request/Reply messages (the payload
+  of IIOP);
+* :mod:`repro.orb.idl` — interface definitions and generated
+  stubs/skeletons;
+* :mod:`repro.orb.poa` — the object adapter mapping object keys to
+  servants;
+* :mod:`repro.orb.core` — the ORB itself, including the one-way
+  request batching whose transient effects are visible in the paper's
+  Figure 7;
+* :mod:`repro.orb.transport` — pluggable transports: direct "TCP"
+  unicast for the unreplicated baseline, and the interception hook
+  (:mod:`repro.orb.interceptor`) that diverts IIOP messages to the
+  Replication Manager without the ORB noticing.
+"""
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder, MarshalError
+from repro.orb.giop import GiopError, ReplyMessage, RequestMessage, decode_message
+from repro.orb.idl import InterfaceDef, OperationDef, ParamDef, UserException
+from repro.orb.ior import ObjectReference
+from repro.orb.core import Orb, OrbCostModel, BatchingPolicy
+from repro.orb.poa import ObjectAdapter
+from repro.orb.transport import DirectTransport, Transport
+
+__all__ = [
+    "CdrDecoder",
+    "CdrEncoder",
+    "MarshalError",
+    "GiopError",
+    "RequestMessage",
+    "ReplyMessage",
+    "decode_message",
+    "InterfaceDef",
+    "OperationDef",
+    "ParamDef",
+    "UserException",
+    "ObjectReference",
+    "Orb",
+    "OrbCostModel",
+    "BatchingPolicy",
+    "ObjectAdapter",
+    "Transport",
+    "DirectTransport",
+]

@@ -1,0 +1,239 @@
+"""Common Data Representation (CDR) marshalling.
+
+Implements the subset of CORBA CDR needed by the mini-ORB and the
+Secure Multicast Protocols' wire formats: little-endian primitives with
+CDR's natural alignment rules, strings (length-prefixed,
+NUL-terminated), octet sequences, and homogeneous sequences.
+
+Typed values are described by small *type tags* so that IDL operation
+signatures can drive marshalling generically:
+
+* ``"boolean" | "octet" | "short" | "ushort" | "long" | "ulong" |
+  "longlong" | "ulonglong" | "float" | "double" | "string" | "octets"``
+* ``("sequence", element_tag)`` for homogeneous sequences;
+* ``("struct", (("field", tag), ...))`` for records, marshalled in
+  declaration order and decoded to dicts;
+* ``("enum", ("RED", "GREEN", ...))`` for IDL enums, marshalled as the
+  member's ordinal (ulong) and decoded back to the member name;
+* ``("union", (("case_label", branch_tag), ...))`` for IDL unions,
+  marshalled as the case ordinal followed by the branch value, and
+  represented in Python as ``(case_label, value)`` pairs.
+"""
+
+import struct
+
+
+class MarshalError(Exception):
+    """Raised on malformed CDR data or unsupported types."""
+
+
+_PRIMITIVES = {
+    # tag: (struct format, size/alignment)
+    "boolean": ("<B", 1),
+    "octet": ("<B", 1),
+    "short": ("<h", 2),
+    "ushort": ("<H", 2),
+    "long": ("<i", 4),
+    "ulong": ("<I", 4),
+    "longlong": ("<q", 8),
+    "ulonglong": ("<Q", 8),
+    "float": ("<f", 4),
+    "double": ("<d", 8),
+}
+
+
+class CdrEncoder:
+    """Builds a CDR byte string with correct alignment."""
+
+    def __init__(self):
+        self._parts = bytearray()
+
+    def _align(self, size):
+        remainder = len(self._parts) % size
+        if remainder:
+            self._parts.extend(b"\x00" * (size - remainder))
+
+    def _write_primitive(self, tag, value):
+        fmt, size = _PRIMITIVES[tag]
+        self._align(size)
+        try:
+            if tag == "boolean":
+                value = 1 if value else 0
+            self._parts.extend(struct.pack(fmt, value))
+        except struct.error as exc:
+            raise MarshalError("cannot marshal %r as %s: %s" % (value, tag, exc))
+
+    def write_ulong(self, value):
+        self._write_primitive("ulong", value)
+        return self
+
+    def write_string(self, value):
+        if not isinstance(value, str):
+            raise MarshalError("string tag requires str, got %r" % type(value))
+        data = value.encode("utf-8")
+        self.write_ulong(len(data) + 1)  # CDR counts the terminating NUL
+        self._parts.extend(data)
+        self._parts.append(0)
+        return self
+
+    def write_octets(self, value):
+        if not isinstance(value, (bytes, bytearray)):
+            raise MarshalError("octets tag requires bytes, got %r" % type(value))
+        self.write_ulong(len(value))
+        self._parts.extend(value)
+        return self
+
+    def write(self, tag, value):
+        """Marshal ``value`` described by type ``tag``."""
+        if isinstance(tag, tuple):
+            kind = tag[0]
+            if kind == "sequence":
+                if not isinstance(value, (list, tuple)):
+                    raise MarshalError("sequence requires list/tuple, got %r" % type(value))
+                self.write_ulong(len(value))
+                for item in value:
+                    self.write(tag[1], item)
+                return self
+            if kind == "struct":
+                if not isinstance(value, dict):
+                    raise MarshalError("struct requires dict, got %r" % type(value))
+                for field, field_tag in tag[1]:
+                    if field not in value:
+                        raise MarshalError("struct missing field %r" % field)
+                    self.write(field_tag, value[field])
+                return self
+            if kind == "enum":
+                members = tag[1]
+                if value not in members:
+                    raise MarshalError(
+                        "enum value %r not in %r" % (value, list(members))
+                    )
+                self.write_ulong(members.index(value))
+                return self
+            if kind == "union":
+                cases = tag[1]
+                if not (isinstance(value, tuple) and len(value) == 2):
+                    raise MarshalError(
+                        "union requires a (case_label, value) pair, got %r" % (value,)
+                    )
+                label, branch_value = value
+                labels = [case_label for case_label, _ in cases]
+                if label not in labels:
+                    raise MarshalError("union case %r not in %r" % (label, labels))
+                index = labels.index(label)
+                self.write_ulong(index)
+                self.write(cases[index][1], branch_value)
+                return self
+            raise MarshalError("unknown composite tag %r" % (tag,))
+        if tag in _PRIMITIVES:
+            self._write_primitive(tag, value)
+            return self
+        if tag == "string":
+            return self.write_string(value)
+        if tag == "octets":
+            return self.write_octets(value)
+        raise MarshalError("unknown type tag %r" % (tag,))
+
+    def getvalue(self):
+        return bytes(self._parts)
+
+    def __len__(self):
+        return len(self._parts)
+
+
+class CdrDecoder:
+    """Reads values back out of a CDR byte string."""
+
+    def __init__(self, data, offset=0):
+        self._data = bytes(data)
+        self._pos = offset
+
+    def _align(self, size):
+        remainder = self._pos % size
+        if remainder:
+            self._pos += size - remainder
+
+    def _read_primitive(self, tag):
+        fmt, size = _PRIMITIVES[tag]
+        self._align(size)
+        end = self._pos + size
+        if end > len(self._data):
+            raise MarshalError("truncated CDR data reading %s" % tag)
+        (value,) = struct.unpack_from(fmt, self._data, self._pos)
+        self._pos = end
+        if tag == "boolean":
+            return bool(value)
+        return value
+
+    def read_ulong(self):
+        return self._read_primitive("ulong")
+
+    def read_string(self):
+        length = self.read_ulong()
+        if length == 0:
+            raise MarshalError("CDR string length must include the NUL")
+        end = self._pos + length
+        if end > len(self._data):
+            raise MarshalError("truncated CDR string")
+        raw = self._data[self._pos : end]
+        self._pos = end
+        if raw[-1:] != b"\x00":
+            raise MarshalError("CDR string missing NUL terminator")
+        try:
+            return raw[:-1].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise MarshalError("invalid UTF-8 in CDR string: %s" % exc)
+
+    def read_octets(self):
+        length = self.read_ulong()
+        end = self._pos + length
+        if end > len(self._data):
+            raise MarshalError("truncated CDR octet sequence")
+        raw = self._data[self._pos : end]
+        self._pos = end
+        return raw
+
+    def read(self, tag):
+        """Unmarshal one value described by type ``tag``."""
+        if isinstance(tag, tuple):
+            kind = tag[0]
+            if kind == "sequence":
+                length = self.read_ulong()
+                if length > len(self._data) - self._pos:
+                    raise MarshalError("sequence length %d exceeds data" % length)
+                return [self.read(tag[1]) for _ in range(length)]
+            if kind == "struct":
+                return {field: self.read(field_tag) for field, field_tag in tag[1]}
+            if kind == "enum":
+                members = tag[1]
+                ordinal = self.read_ulong()
+                if ordinal >= len(members):
+                    raise MarshalError(
+                        "enum ordinal %d out of range for %r" % (ordinal, list(members))
+                    )
+                return members[ordinal]
+            if kind == "union":
+                cases = tag[1]
+                index = self.read_ulong()
+                if index >= len(cases):
+                    raise MarshalError("union discriminator %d out of range" % index)
+                label, branch_tag = cases[index]
+                return (label, self.read(branch_tag))
+            raise MarshalError("unknown composite tag %r" % (tag,))
+        if tag in _PRIMITIVES:
+            return self._read_primitive(tag)
+        if tag == "string":
+            return self.read_string()
+        if tag == "octets":
+            return self.read_octets()
+        raise MarshalError("unknown type tag %r" % (tag,))
+
+    @property
+    def position(self):
+        return self._pos
+
+    def remaining(self):
+        return len(self._data) - self._pos
+
+    def at_end(self):
+        return self._pos >= len(self._data)

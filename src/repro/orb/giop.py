@@ -1,0 +1,136 @@
+"""GIOP 1.0 messages — the payload of IIOP.
+
+The Immune system intercepts IIOP messages below the ORB, so this
+module defines the concrete byte format those messages have on the
+wire: a 12-byte GIOP header (magic, version, byte order, message type,
+body size) followed by a CDR-encoded Request or Reply header and body.
+
+Only the message types the reproduction needs are implemented:
+``Request`` and ``Reply``.  Bodies are opaque CDR bytes produced by the
+IDL layer; GIOP does not interpret them, exactly as in CORBA.
+"""
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder, MarshalError
+
+GIOP_MAGIC = b"GIOP"
+GIOP_VERSION = (1, 0)
+
+MSG_REQUEST = 0
+MSG_REPLY = 1
+
+REPLY_NO_EXCEPTION = 0
+REPLY_USER_EXCEPTION = 1
+REPLY_SYSTEM_EXCEPTION = 2
+
+_LITTLE_ENDIAN_FLAG = 1
+
+
+class GiopError(Exception):
+    """Raised on malformed GIOP messages."""
+
+
+class InvocationTimeout(GiopError):
+    """A two-way invocation's reply did not arrive within its deadline."""
+
+
+class RequestMessage:
+    """A GIOP Request: one invocation of ``operation`` on ``object_key``."""
+
+    message_type = MSG_REQUEST
+
+    def __init__(self, request_id, object_key, operation, body, response_expected=True):
+        self.request_id = request_id
+        self.object_key = object_key
+        self.operation = operation
+        self.body = body
+        self.response_expected = response_expected
+
+    def encode(self):
+        header = CdrEncoder()
+        header.write("ulong", self.request_id)
+        header.write("boolean", self.response_expected)
+        header.write("octets", self.object_key)
+        header.write("string", self.operation)
+        payload = header.getvalue() + self.body
+        return _giop_frame(MSG_REQUEST, payload)
+
+    @classmethod
+    def decode(cls, payload):
+        decoder = CdrDecoder(payload)
+        request_id = decoder.read("ulong")
+        response_expected = decoder.read("boolean")
+        object_key = decoder.read("octets")
+        operation = decoder.read("string")
+        body = payload[decoder.position :]
+        return cls(request_id, object_key, operation, body, response_expected)
+
+    def __repr__(self):
+        return "RequestMessage(id=%d, op=%s, key=%s, %s)" % (
+            self.request_id,
+            self.operation,
+            self.object_key.hex(),
+            "twoway" if self.response_expected else "oneway",
+        )
+
+
+class ReplyMessage:
+    """A GIOP Reply carrying the result (or exception) of a Request."""
+
+    message_type = MSG_REPLY
+
+    def __init__(self, request_id, reply_status, body):
+        self.request_id = request_id
+        self.reply_status = reply_status
+        self.body = body
+
+    def encode(self):
+        header = CdrEncoder()
+        header.write("ulong", self.request_id)
+        header.write("ulong", self.reply_status)
+        payload = header.getvalue() + self.body
+        return _giop_frame(MSG_REPLY, payload)
+
+    @classmethod
+    def decode(cls, payload):
+        decoder = CdrDecoder(payload)
+        request_id = decoder.read("ulong")
+        reply_status = decoder.read("ulong")
+        body = payload[decoder.position :]
+        return cls(request_id, reply_status, body)
+
+    def __repr__(self):
+        return "ReplyMessage(id=%d, status=%d)" % (self.request_id, self.reply_status)
+
+
+def _giop_frame(message_type, payload):
+    header = bytearray(GIOP_MAGIC)
+    header.extend(GIOP_VERSION)
+    header.append(_LITTLE_ENDIAN_FLAG)
+    header.append(message_type)
+    header.extend(len(payload).to_bytes(4, "little"))
+    return bytes(header) + payload
+
+
+def decode_message(frame):
+    """Decode one GIOP frame into a Request or Reply message object."""
+    if len(frame) < 12:
+        raise GiopError("GIOP frame shorter than header (%d bytes)" % len(frame))
+    if frame[:4] != GIOP_MAGIC:
+        raise GiopError("bad GIOP magic %r" % frame[:4])
+    if tuple(frame[4:6]) != GIOP_VERSION:
+        raise GiopError("unsupported GIOP version %r" % (tuple(frame[4:6]),))
+    if frame[6] != _LITTLE_ENDIAN_FLAG:
+        raise GiopError("only little-endian GIOP is implemented")
+    message_type = frame[7]
+    size = int.from_bytes(frame[8:12], "little")
+    payload = frame[12:]
+    if len(payload) != size:
+        raise GiopError("GIOP size mismatch: header says %d, got %d" % (size, len(payload)))
+    try:
+        if message_type == MSG_REQUEST:
+            return RequestMessage.decode(payload)
+        if message_type == MSG_REPLY:
+            return ReplyMessage.decode(payload)
+    except MarshalError as exc:
+        raise GiopError("malformed GIOP payload: %s" % exc)
+    raise GiopError("unsupported GIOP message type %d" % message_type)

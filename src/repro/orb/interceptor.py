@@ -1,0 +1,38 @@
+"""IIOP interception — the Immune system's attachment point.
+
+The paper (section 2) attaches to an *unmodified* commercial ORB by
+transparently intercepting the IIOP messages intended for TCP/IP and
+passing them to the Replication Manager instead.  In this reproduction
+the interception point is the ORB's pluggable transport: installing an
+:class:`ImmuneInterceptor` in place of the direct transport diverts
+every outgoing GIOP frame to the Replication Manager, and the
+Replication Manager feeds voted frames back in through the ORB's
+ordinary inbound path.  Neither the ORB above nor the application
+objects change in any way — the transparency claim the paper makes.
+"""
+
+from repro.orb.transport import Transport
+
+
+class ImmuneInterceptor(Transport):
+    """Transport that hands IIOP frames to a Replication Manager.
+
+    The Replication Manager must provide two methods:
+
+    * ``outgoing_iiop(reference, frame, source_key)`` — an intercepted
+      outbound GIOP frame, with the issuing local object's key;
+    * ``bind_orb(orb)`` — called once so the manager can later inject
+      voted frames via ``orb.deliver_frame``.
+    """
+
+    def __init__(self, replication_manager):
+        self._manager = replication_manager
+        self._orb = None
+
+    def attach(self, orb):
+        self._orb = orb
+        self._manager.bind_orb(orb)
+
+    def send_frames(self, reference, frames, source_key):
+        for frame in frames:
+            self._manager.outgoing_iiop(reference, frame, source_key)

@@ -1,0 +1,47 @@
+"""Interoperable object references.
+
+An :class:`ObjectReference` is the client-visible name of a (possibly
+replicated) CORBA object.  As in real CORBA, the reference carries the
+interface's type id and an opaque object key; the location fields name
+the host for the direct (unreplicated) transport.  For a replicated
+object the Immune system ignores the location — the object key doubles
+as the object-group name and the Replication Manager routes by group,
+which is how the paper achieves location transparency for groups.
+"""
+
+
+class ObjectReference:
+    """A portable reference to a CORBA object or object group."""
+
+    __slots__ = ("type_id", "object_key", "host", "port")
+
+    def __init__(self, type_id, object_key, host=None, port="iiop"):
+        if isinstance(object_key, str):
+            object_key = object_key.encode("utf-8")
+        self.type_id = type_id
+        self.object_key = bytes(object_key)
+        self.host = host
+        self.port = port
+
+    @property
+    def group_name(self):
+        """The object-group name the Immune system routes by."""
+        return self.object_key.decode("utf-8", errors="replace")
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, ObjectReference)
+            and self.type_id == other.type_id
+            and self.object_key == other.object_key
+        )
+
+    def __hash__(self):
+        return hash((self.type_id, self.object_key))
+
+    def __repr__(self):
+        where = "" if self.host is None else " @P%s" % self.host
+        return "ObjectReference(%s, key=%s%s)" % (
+            self.type_id,
+            self.object_key.decode("utf-8", errors="replace"),
+            where,
+        )

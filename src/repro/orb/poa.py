@@ -1,0 +1,41 @@
+"""Object adapter: object keys -> active servants.
+
+A minimal Portable-Object-Adapter analogue.  The ORB consults the
+adapter to dispatch incoming Requests; the Immune system's Replication
+Manager consults the very same adapter when delivering voted
+invocations, which is what lets replicas run unmodified servants.
+"""
+
+from repro.orb.idl import IdlError
+
+
+class ObjectAdapter:
+    """Registry of activated servants on one ORB."""
+
+    def __init__(self):
+        self._active = {}
+
+    def activate(self, object_key, servant, interface):
+        """Incarnate ``servant`` (implementing ``interface``) under ``object_key``."""
+        if isinstance(object_key, str):
+            object_key = object_key.encode("utf-8")
+        object_key = bytes(object_key)
+        if object_key in self._active:
+            raise IdlError("object key %r already active" % object_key)
+        self._active[object_key] = interface.skeleton_for(servant)
+        return object_key
+
+    def deactivate(self, object_key):
+        if isinstance(object_key, str):
+            object_key = object_key.encode("utf-8")
+        self._active.pop(bytes(object_key), None)
+
+    def skeleton(self, object_key):
+        """The skeleton for ``object_key``, or None if not active here."""
+        return self._active.get(bytes(object_key))
+
+    def active_keys(self):
+        return sorted(self._active)
+
+    def __len__(self):
+        return len(self._active)

@@ -1,0 +1,34 @@
+"""Deterministic discrete-event simulation substrate.
+
+The Immune system paper evaluates its protocols on a LAN of six
+UltraSPARC workstations.  This package replaces that testbed with a
+deterministic discrete-event simulator: simulated processors with a
+serialising CPU model, a shared broadcast medium with bandwidth and
+latency, seeded random-number substreams, and a fault-injection plan
+that can drop, corrupt, and delay messages or crash processors at
+scheduled times.
+
+Everything above this package (crypto cost model, ORB, multicast
+protocols, replication manager) runs unchanged on top of these
+primitives, so experiments are exactly reproducible from a seed.
+"""
+
+from repro.sim.scheduler import Event, Scheduler
+from repro.sim.process import Processor
+from repro.sim.network import Datagram, Network, NetworkParams
+from repro.sim.rng import RngStreams
+from repro.sim.faults import FaultPlan
+from repro.sim.tracing import TraceLog, TraceRecord
+
+__all__ = [
+    "Event",
+    "Scheduler",
+    "Processor",
+    "Datagram",
+    "Network",
+    "NetworkParams",
+    "RngStreams",
+    "FaultPlan",
+    "TraceLog",
+    "TraceRecord",
+]

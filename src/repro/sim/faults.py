@@ -1,0 +1,105 @@
+"""Fault-injection plans.
+
+Table 1 of the paper enumerates the fault classes the Immune system
+handles.  :class:`FaultPlan` is the single knob through which an
+experiment injects the *communication*-level classes (message loss,
+message corruption, arbitrary delay) and schedules *processor*-level
+crashes.  Object-replica faults (value faults, send omission, replica
+crash) are injected higher in the stack, by wrapping application
+servants — see :mod:`repro.core.replica` — and malicious *protocol*
+behaviour (mutant tokens, masquerade) is injected by
+:mod:`repro.multicast.adversary`.
+
+All probabilistic decisions draw from RNG streams owned by the caller,
+so a plan is fully reproducible from the master seed.
+"""
+
+
+class LinkFaults:
+    """Loss/corruption/delay settings for one directed link or globally."""
+
+    def __init__(self, loss_prob=0.0, corrupt_prob=0.0, extra_delay=0.0):
+        self.loss_prob = loss_prob
+        self.corrupt_prob = corrupt_prob
+        self.extra_delay = extra_delay
+
+
+class FaultPlan:
+    """Describes when and where communication faults occur.
+
+    Per-link settings override the global default.  Faults can be
+    windowed in time with ``active_from``/``active_until`` so that an
+    experiment can, e.g., run cleanly, inject a lossy period, and then
+    verify recovery.
+    """
+
+    def __init__(self, default=None, active_from=0.0, active_until=None):
+        self.default = default or LinkFaults()
+        self.links = {}
+        self.active_from = active_from
+        self.active_until = active_until
+        #: scheduled crash times by processor id (informational; the
+        #: harness arms these with :meth:`arm_crashes`)
+        self.crash_times = {}
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+
+    def set_link(self, src, dst, faults):
+        """Override fault settings for the directed link ``src -> dst``."""
+        self.links[(src, dst)] = faults
+        return self
+
+    def set_processor_egress(self, src, faults, processor_ids):
+        """Apply ``faults`` to every link leaving ``src``."""
+        for dst in processor_ids:
+            if dst != src:
+                self.links[(src, dst)] = faults
+        return self
+
+    def schedule_crash(self, proc_id, time):
+        """Record that ``proc_id`` fail-stops at ``time``."""
+        self.crash_times[proc_id] = time
+        return self
+
+    def arm_crashes(self, scheduler, processors):
+        """Install crash events on the scheduler for every scheduled crash."""
+        for proc_id, time in sorted(self.crash_times.items()):
+            processor = processors[proc_id]
+            scheduler.at(time, processor.crash, label="fault.crash")
+
+    # ------------------------------------------------------------------
+    # queries (called by the network per datagram per receiver)
+    # ------------------------------------------------------------------
+
+    def _active(self, now):
+        if now < self.active_from:
+            return False
+        if self.active_until is not None and now >= self.active_until:
+            return False
+        return True
+
+    def _faults_for(self, src, dst):
+        return self.links.get((src, dst), self.default)
+
+    def should_drop(self, src, dst, now, rng):
+        if not self._active(now):
+            return False
+        faults = self._faults_for(src, dst)
+        if faults.loss_prob <= 0.0:
+            return False
+        return rng.random() < faults.loss_prob
+
+    def should_corrupt(self, src, dst, now, rng):
+        if not self._active(now):
+            return False
+        faults = self._faults_for(src, dst)
+        if faults.corrupt_prob <= 0.0:
+            return False
+        return rng.random() < faults.corrupt_prob
+
+    def extra_delay(self, src, dst, now, rng):
+        if not self._active(now):
+            return 0.0
+        return self._faults_for(src, dst).extra_delay

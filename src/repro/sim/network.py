@@ -1,0 +1,183 @@
+"""Shared broadcast LAN model.
+
+The paper's testbed is a completely-connected 100 Mbps Ethernet.  The
+model here is a single shared medium: each transmission occupies the
+medium for ``bytes / bandwidth`` seconds, then propagates to every
+receiver after a small (optionally jittered) delay.  Channels are
+*unreliable* exactly as the system model in the paper requires:
+datagrams may be dropped, corrupted in transit, or arbitrarily delayed,
+under control of a :class:`repro.sim.faults.FaultPlan`.
+
+Payloads are raw ``bytes``.  Corruption genuinely flips bits, so the
+message-digest machinery in the Secure Multicast Protocols is exercised
+for real rather than via a boolean flag.
+"""
+
+from repro.sim.scheduler import SimulationError
+
+
+class NetworkParams:
+    """Physical parameters of the simulated LAN."""
+
+    def __init__(
+        self,
+        bandwidth_bps=100_000_000,
+        propagation_delay=20e-6,
+        jitter=5e-6,
+        header_bytes=42,
+    ):
+        #: shared-medium bandwidth (defaults to the paper's 100 Mbps)
+        self.bandwidth_bps = bandwidth_bps
+        #: fixed propagation + interrupt/dispatch latency per hop
+        self.propagation_delay = propagation_delay
+        #: uniform extra delay in ``[0, jitter)`` applied per receiver
+        self.jitter = jitter
+        #: per-frame overhead (Ethernet + IP + UDP headers)
+        self.header_bytes = header_bytes
+
+    def transmit_time(self, payload_bytes):
+        """Seconds the medium is occupied by a frame of ``payload_bytes``."""
+        return 8.0 * (payload_bytes + self.header_bytes) / self.bandwidth_bps
+
+
+class Datagram:
+    """One frame on the wire, as seen by a single receiver."""
+
+    __slots__ = ("src", "dst", "dst_port", "payload", "corrupted", "sent_at")
+
+    def __init__(self, src, dst, dst_port, payload, sent_at):
+        self.src = src
+        self.dst = dst
+        self.dst_port = dst_port
+        self.payload = payload
+        self.corrupted = False
+        self.sent_at = sent_at
+
+    def __repr__(self):
+        return "Datagram(%s->%s:%s, %d bytes%s)" % (
+            self.src,
+            "ALL" if self.dst is None else self.dst,
+            self.dst_port,
+            len(self.payload),
+            ", CORRUPTED" if self.corrupted else "",
+        )
+
+
+def _flip_bytes(payload, rng):
+    """Return ``payload`` with 1-4 random bytes XOR-flipped (never a no-op)."""
+    if not payload:
+        return payload
+    data = bytearray(payload)
+    for _ in range(rng.randint(1, min(4, len(data)))):
+        index = rng.randrange(len(data))
+        data[index] ^= rng.randint(1, 255)
+    return bytes(data)
+
+
+class Network:
+    """The shared LAN connecting all processors."""
+
+    def __init__(self, scheduler, params=None, rng=None, fault_plan=None, trace=None):
+        self.scheduler = scheduler
+        self.params = params or NetworkParams()
+        self._rng = rng
+        self._fault_plan = fault_plan
+        self._trace = trace
+        self._processors = {}
+        self._medium_free_at = 0.0
+        #: counters for reports
+        self.stats = {"sent": 0, "delivered": 0, "dropped": 0, "corrupted": 0}
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    def add_processor(self, processor):
+        if processor.proc_id in self._processors:
+            raise SimulationError("duplicate processor id %r" % (processor.proc_id,))
+        self._processors[processor.proc_id] = processor
+        processor.attach(self)
+
+    def processor(self, proc_id):
+        return self._processors[proc_id]
+
+    def processor_ids(self):
+        return sorted(self._processors)
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+
+    def unicast(self, src_id, dst_id, dst_port, payload):
+        """Send ``payload`` bytes from ``src_id`` to ``dst_id`` only."""
+        self._transmit(src_id, dst_port, payload, [dst_id], dst=dst_id)
+
+    def broadcast(self, src_id, dst_port, payload):
+        """Send ``payload`` to every *other* processor on the LAN.
+
+        Local loop-back is the responsibility of the protocol endpoint
+        (it already holds the message), matching a real multicast NIC
+        configured without self-delivery.
+        """
+        receivers = [pid for pid in self._processors if pid != src_id]
+        self._transmit(src_id, dst_port, payload, receivers, dst=None)
+
+    def _transmit(self, src_id, dst_port, payload, receivers, dst):
+        sender = self._processors.get(src_id)
+        if sender is None or sender.crashed:
+            return
+        if not isinstance(payload, (bytes, bytearray)):
+            raise SimulationError("network payloads must be bytes, got %r" % type(payload))
+        payload = bytes(payload)
+        self.stats["sent"] += 1
+        now = self.scheduler.now
+        start = max(now, self._medium_free_at)
+        end = start + self.params.transmit_time(len(payload))
+        self._medium_free_at = end
+        if self._trace is not None:
+            self._trace.record("net.send", src=src_id, dst=dst, port=dst_port, size=len(payload))
+        for dst_id in receivers:
+            self._schedule_delivery(src_id, dst_id, dst_port, payload, end, now)
+
+    def _schedule_delivery(self, src_id, dst_id, dst_port, payload, tx_end, sent_at):
+        rng = self._rng
+        plan = self._fault_plan
+        if plan is not None and plan.should_drop(src_id, dst_id, self.scheduler.now, rng):
+            self.stats["dropped"] += 1
+            if self._trace is not None:
+                self._trace.record("net.drop", src=src_id, dst=dst_id, port=dst_port)
+            return
+        datagram = Datagram(src_id, dst_id, dst_port, payload, sent_at)
+        if plan is not None and plan.should_corrupt(src_id, dst_id, self.scheduler.now, rng):
+            datagram.payload = _flip_bytes(payload, rng if rng is not None else _REQUIRED_RNG())
+            datagram.corrupted = True
+            self.stats["corrupted"] += 1
+            if self._trace is not None:
+                self._trace.record("net.corrupt", src=src_id, dst=dst_id, port=dst_port)
+        delay = self.params.propagation_delay
+        if self.params.jitter and rng is not None:
+            delay += rng.uniform(0.0, self.params.jitter)
+        if plan is not None:
+            delay += plan.extra_delay(src_id, dst_id, self.scheduler.now, rng)
+        self.scheduler.at(
+            tx_end + delay,
+            self._deliver,
+            dst_id,
+            datagram,
+            label="net.deliver",
+        )
+
+    def _deliver(self, dst_id, datagram):
+        receiver = self._processors.get(dst_id)
+        if receiver is None or receiver.crashed:
+            return
+        self.stats["delivered"] += 1
+        if self._trace is not None:
+            self._trace.record(
+                "net.deliver", src=datagram.src, dst=dst_id, port=datagram.dst_port
+            )
+        receiver.deliver(datagram)
+
+
+def _REQUIRED_RNG():
+    raise SimulationError("corruption injection requires an RNG stream")

@@ -1,0 +1,129 @@
+"""Event queue and simulation loop.
+
+The scheduler is the single source of time in a simulation.  Events are
+ordered by ``(time, priority, sequence)`` where the monotonically
+increasing sequence number guarantees a deterministic total order even
+when many events share a timestamp.  Determinism is a hard requirement:
+the reproduction's experiments are driven purely by a seed, and replica
+consistency checks rely on re-running identical schedules.
+"""
+
+import heapq
+import itertools
+
+
+class SimulationError(Exception):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, priority, seq)`` so that the heap pops
+    them in a deterministic order.  Cancelled events stay in the heap
+    but are skipped when popped (lazy deletion).
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "label")
+
+    def __init__(self, time, priority, seq, fn, args, label=""):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self):
+        """Prevent the event from firing; safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other):
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self):
+        state = "cancelled" if self.cancelled else "pending"
+        return "Event(t=%.9f, %s, %s)" % (self.time, self.label or self.fn, state)
+
+
+class Scheduler:
+    """Deterministic discrete-event scheduler.
+
+    Time is a float number of seconds.  ``at`` schedules an absolute
+    event, ``after`` a relative one.  ``run`` drains the queue until a
+    time limit, an event limit, or a stop request.
+    """
+
+    #: priority for ordinary events
+    PRIORITY_NORMAL = 10
+    #: priority for timers that should fire after message deliveries at
+    #: the same instant (e.g. token-loss timeouts)
+    PRIORITY_TIMER = 20
+
+    def __init__(self):
+        self._queue = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._stopped = False
+        self.events_executed = 0
+
+    @property
+    def now(self):
+        """Current simulation time in seconds."""
+        return self._now
+
+    def at(self, time, fn, *args, priority=PRIORITY_NORMAL, label=""):
+        """Schedule ``fn(*args)`` at absolute simulation ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                "cannot schedule event at %.9f before now %.9f" % (time, self._now)
+            )
+        event = Event(time, priority, next(self._seq), fn, args, label)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay, fn, *args, priority=PRIORITY_NORMAL, label=""):
+        """Schedule ``fn(*args)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError("negative delay %r" % (delay,))
+        return self.at(self._now + delay, fn, *args, priority=priority, label=label)
+
+    def stop(self):
+        """Request that ``run`` return before executing the next event."""
+        self._stopped = True
+
+    def pending(self):
+        """Number of non-cancelled events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def run(self, until=None, max_events=None):
+        """Execute events in order.
+
+        ``until`` bounds simulation time (events after it stay queued);
+        ``max_events`` bounds the number of callbacks executed.  Returns
+        the simulation time when the loop exits.
+        """
+        self._stopped = False
+        executed = 0
+        while self._queue and not self._stopped:
+            if max_events is not None and executed >= max_events:
+                break
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                self._now = until
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.fn(*event.args)
+            executed += 1
+            self.events_executed += 1
+        if not self._queue and until is not None and self._now < until:
+            self._now = until
+        return self._now

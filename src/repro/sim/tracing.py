@@ -1,0 +1,76 @@
+"""Structured trace log for property checking.
+
+The property tables of the paper (Tables 2, 4 and 5) are statements
+about *histories*: which processor delivered which message in which
+order, which memberships were installed, who was suspected when.  Every
+protocol layer appends :class:`TraceRecord` entries to a shared
+:class:`TraceLog`; the property checkers in ``tests/properties`` and
+the table benches then assert over the completed history.
+"""
+
+
+class TraceRecord:
+    """One timestamped event in the global history."""
+
+    __slots__ = ("time", "kind", "fields")
+
+    def __init__(self, time, kind, fields):
+        self.time = time
+        self.kind = kind
+        self.fields = fields
+
+    def __getattr__(self, name):
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def get(self, name, default=None):
+        return self.fields.get(name, default)
+
+    def __repr__(self):
+        body = ", ".join("%s=%r" % kv for kv in sorted(self.fields.items()))
+        return "TraceRecord(%.6f, %s, %s)" % (self.time, self.kind, body)
+
+
+class TraceLog:
+    """Append-only log of simulation events, indexed by kind."""
+
+    def __init__(self, scheduler, enabled_kinds=None):
+        self._scheduler = scheduler
+        self.records = []
+        self._by_kind = {}
+        #: if set, only these kinds are recorded (benches disable the
+        #: noisy ``net.*`` kinds to keep long runs cheap)
+        self.enabled_kinds = enabled_kinds
+
+    def record(self, kind, **fields):
+        if self.enabled_kinds is not None and kind not in self.enabled_kinds:
+            return None
+        rec = TraceRecord(self._scheduler.now, kind, fields)
+        self.records.append(rec)
+        self._by_kind.setdefault(kind, []).append(rec)
+        return rec
+
+    def of_kind(self, kind):
+        """All records of ``kind``, in time order."""
+        return list(self._by_kind.get(kind, []))
+
+    def of_kinds(self, *kinds):
+        """Records of any of ``kinds``, merged in global order."""
+        wanted = set(kinds)
+        return [rec for rec in self.records if rec.kind in wanted]
+
+    def where(self, kind, **match):
+        """Records of ``kind`` whose fields equal every ``match`` item."""
+        out = []
+        for rec in self._by_kind.get(kind, []):
+            if all(rec.fields.get(key) == value for key, value in match.items()):
+                out.append(rec)
+        return out
+
+    def count(self, kind):
+        return len(self._by_kind.get(kind, []))
+
+    def kinds(self):
+        return sorted(self._by_kind)

@@ -1,0 +1,123 @@
+"""A survivable bank — the kind of critical service the paper targets.
+
+Replicated accounts with strict invariants (no overdrafts, conserved
+total balance across transfers) make state divergence observable: if a
+corrupted replica's wrong answer were ever delivered, or an invocation
+were duplicated, the invariants would break.  The examples and the
+Table 1 fault drills use this workload to show continuous correct
+service under replica corruption and processor loss.
+"""
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.orb.idl import InterfaceDef, OperationDef, ParamDef
+
+BANK_IDL = InterfaceDef(
+    "Bank",
+    [
+        OperationDef(
+            "open_account",
+            [ParamDef("owner", "string"), ParamDef("initial", "long")],
+            result="long",
+        ),
+        OperationDef(
+            "deposit",
+            [ParamDef("account", "long"), ParamDef("amount", "long")],
+            result="long",
+        ),
+        OperationDef(
+            "withdraw",
+            [ParamDef("account", "long"), ParamDef("amount", "long")],
+            result="long",
+        ),
+        OperationDef(
+            "transfer",
+            [
+                ParamDef("source", "long"),
+                ParamDef("destination", "long"),
+                ParamDef("amount", "long"),
+            ],
+            result="boolean",
+        ),
+        OperationDef("balance", [ParamDef("account", "long")], result="long"),
+        OperationDef("total_assets", [], result="long"),
+    ],
+)
+
+
+class BankServant:
+    """A deterministic in-memory bank with checkpointable state."""
+
+    def __init__(self):
+        self._accounts = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # operations (plain Python: the servant never sees the Immune system)
+    # ------------------------------------------------------------------
+
+    def open_account(self, owner, initial):
+        account = self._next_id
+        self._next_id += 1
+        self._accounts[account] = initial
+        return account
+
+    def deposit(self, account, amount):
+        if account not in self._accounts or amount < 0:
+            return -1
+        self._accounts[account] += amount
+        return self._accounts[account]
+
+    def withdraw(self, account, amount):
+        balance = self._accounts.get(account)
+        if balance is None or amount < 0 or amount > balance:
+            return -1  # no overdrafts
+        self._accounts[account] = balance - amount
+        return self._accounts[account]
+
+    def transfer(self, source, destination, amount):
+        if (
+            source not in self._accounts
+            or destination not in self._accounts
+            or amount < 0
+            or self._accounts[source] < amount
+        ):
+            return False
+        self._accounts[source] -= amount
+        self._accounts[destination] += amount
+        return True
+
+    def balance(self, account):
+        return self._accounts.get(account, -1)
+
+    def total_assets(self):
+        return sum(self._accounts.values())
+
+    # ------------------------------------------------------------------
+    # checkpointing (used by replica reallocation)
+    # ------------------------------------------------------------------
+
+    def get_state(self):
+        encoder = CdrEncoder()
+        encoder.write("ulong", self._next_id)
+        encoder.write(
+            ("sequence", ("struct", (("id", "ulong"), ("balance", "longlong")))),
+            [
+                {"id": acct, "balance": bal}
+                for acct, bal in sorted(self._accounts.items())
+            ],
+        )
+        return encoder.getvalue()
+
+    def set_state(self, state):
+        decoder = CdrDecoder(state)
+        self._next_id = decoder.read("ulong")
+        entries = decoder.read(
+            ("sequence", ("struct", (("id", "ulong"), ("balance", "longlong"))))
+        )
+        self._accounts = {entry["id"]: entry["balance"] for entry in entries}
+
+    @classmethod
+    def from_state(cls, state):
+        servant = cls()
+        servant.set_state(state)
+        return servant

@@ -1,0 +1,106 @@
+"""Sensor fusion — a command-and-control style workload.
+
+The paper's introduction motivates survivability for critical
+distributed applications; a classic instance is a fusion service that
+aggregates sensor reports and answers track queries.  Sensor feeds are
+replicated client objects (one-way reports exercise input voting at
+high rates); the fusion centre is a replicated server whose query
+answers exercise output voting.  A corrupted fusion replica reporting a
+bogus track is outvoted; a corrupted sensor replica is outvoted by its
+peers within the same sensor group.
+"""
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.orb.idl import InterfaceDef, OperationDef, ParamDef
+
+FUSION_IDL = InterfaceDef(
+    "FusionCentre",
+    [
+        OperationDef(
+            "report",
+            [
+                ParamDef("sensor", "string"),
+                ParamDef("track_id", "ulong"),
+                ParamDef("x_mm", "long"),
+                ParamDef("y_mm", "long"),
+            ],
+            oneway=True,
+        ),
+        OperationDef(
+            "track_position",
+            [ParamDef("track_id", "ulong")],
+            result=("struct", (("x_mm", "long"), ("y_mm", "long"), ("reports", "ulong"))),
+        ),
+        OperationDef("track_count", [], result="ulong"),
+    ],
+)
+
+
+class FusionServant:
+    """Deterministic running-average fusion of track reports."""
+
+    def __init__(self):
+        self._tracks = {}
+
+    def report(self, sensor, track_id, x_mm, y_mm):
+        sum_x, sum_y, count = self._tracks.get(track_id, (0, 0, 0))
+        self._tracks[track_id] = (sum_x + x_mm, sum_y + y_mm, count + 1)
+
+    def track_position(self, track_id):
+        sum_x, sum_y, count = self._tracks.get(track_id, (0, 0, 0))
+        if count == 0:
+            return {"x_mm": 0, "y_mm": 0, "reports": 0}
+        return {"x_mm": sum_x // count, "y_mm": sum_y // count, "reports": count}
+
+    def track_count(self):
+        return len(self._tracks)
+
+    # checkpointing for reallocation
+    def get_state(self):
+        encoder = CdrEncoder()
+        tag = (
+            "sequence",
+            (
+                "struct",
+                (
+                    ("track", "ulong"),
+                    ("sum_x", "longlong"),
+                    ("sum_y", "longlong"),
+                    ("count", "ulong"),
+                ),
+            ),
+        )
+        encoder.write(
+            tag,
+            [
+                {"track": t, "sum_x": sx, "sum_y": sy, "count": c}
+                for t, (sx, sy, c) in sorted(self._tracks.items())
+            ],
+        )
+        return encoder.getvalue()
+
+    def set_state(self, state):
+        tag = (
+            "sequence",
+            (
+                "struct",
+                (
+                    ("track", "ulong"),
+                    ("sum_x", "longlong"),
+                    ("sum_y", "longlong"),
+                    ("count", "ulong"),
+                ),
+            ),
+        )
+        entries = CdrDecoder(state).read(tag)
+        self._tracks = {
+            e["track"]: (e["sum_x"], e["sum_y"], e["count"]) for e in entries
+        }
+
+
+def scripted_track(track_id, steps, stride_mm=250):
+    """A deterministic straight-line trajectory for test scripts."""
+    return [
+        (track_id, 1000 + step * stride_mm, 2000 + step * stride_mm // 2)
+        for step in range(steps)
+    ]

@@ -1,0 +1,108 @@
+"""Integration test: complete processor recovery through the facade.
+
+The full survivability story end to end: a processor suffers a network
+outage, is excluded, the service keeps running degraded; the processor
+is repaired, rejoins the membership, and its replicas are restored by
+ordered state transfer — three-way replication is back without ever
+stopping the service.
+"""
+
+from repro.core.config import ImmuneConfig, SurvivabilityCase
+from repro.core.immune import ImmuneSystem
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.orb.idl import InterfaceDef, OperationDef, ParamDef
+from repro.sim.faults import FaultPlan, LinkFaults
+
+REGISTER_IDL = InterfaceDef(
+    "Register",
+    [
+        OperationDef("press", [ParamDef("label", "string")], oneway=True),
+        OperationDef("tape", [], result=("sequence", "string")),
+    ],
+)
+
+
+class RegisterServant:
+    def __init__(self):
+        self.entries = []
+
+    def press(self, label):
+        self.entries.append(label)
+
+    def tape(self):
+        return list(self.entries)
+
+    def get_state(self):
+        return CdrEncoder().write(("sequence", "string"), self.entries).getvalue()
+
+    def set_state(self, state):
+        self.entries = CdrDecoder(state).read(("sequence", "string"))
+
+    @classmethod
+    def from_state(cls, state):
+        servant = cls()
+        servant.set_state(state)
+        return servant
+
+
+def test_outage_exclusion_rejoin_and_replica_restoration():
+    plan = FaultPlan(active_from=0.5, active_until=4.0)
+    for other in range(6):
+        if other != 1:
+            plan.set_link(1, other, LinkFaults(loss_prob=1.0))
+            plan.set_link(other, 1, LinkFaults(loss_prob=1.0))
+    config = ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=81)
+    immune = ImmuneSystem(num_processors=6, config=config, fault_plan=plan)
+    register = immune.deploy(
+        "register", REGISTER_IDL, lambda pid: RegisterServant(), [0, 1, 2]
+    )
+    clerk = immune.deploy_client("clerk", [3, 4, 5])
+    immune.start()
+    stubs = immune.client_stubs(clerk, REGISTER_IDL, register)
+
+    def press(label):
+        for pid, stub in stubs:
+            if not immune.processors[pid].crashed:
+                stub.press(label)
+
+    immune.scheduler.at(0.2, press, "before-outage")
+    immune.scheduler.at(6.0, press, "during-degradation")
+    # Repair: rejoin + restore the register replica by state transfer.
+    immune.scheduler.at(
+        8.0,
+        immune.recover_processor,
+        1,
+        {"register": RegisterServant.from_state},
+    )
+    immune.scheduler.at(20.0, press, "after-recovery")
+    immune.run(until=24.0)
+
+    # Degradation really happened...
+    excluded = any(
+        1 in rec.excluded
+        for rec in immune.trace.of_kind("membership.install")
+        if rec.get("excluded")
+    )
+    assert excluded, "P1 should have been excluded during the outage"
+    # ...and recovery really completed.
+    members = immune.surviving_members()
+    assert 1 in members, "P1 should be back in the membership"
+    assert immune.group_members("register") == (0, 1, 2)
+    expected = ["before-outage", "during-degradation", "after-recovery"]
+    fresh = register.servants[1]
+    assert fresh.entries == expected, "restored replica state: %r" % fresh.entries
+    for pid in (0, 2):
+        assert register.servants[pid].entries == expected
+
+    # The restored replica participates: a query is answered everywhere
+    # and the restored replica's copies count toward the votes.
+    answers = {pid: [] for pid, _ in stubs}
+
+    def query():
+        for pid, stub in stubs:
+            stub.tape(reply_to=answers[pid].append)
+
+    immune.scheduler.at(24.5, query)
+    immune.run(until=28.0)
+    for pid, got in answers.items():
+        assert got == [expected], "client on P%d got %r" % (pid, got)

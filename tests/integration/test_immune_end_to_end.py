@@ -1,0 +1,250 @@
+"""End-to-end tests: unmodified application objects over the full stack."""
+
+import pytest
+
+from repro.core.config import ImmuneConfig, SurvivabilityCase
+from repro.core.immune import ImmuneSystem
+from repro.core.replica import ValueFaultServant
+from repro.orb.idl import InterfaceDef, OperationDef, ParamDef
+
+COUNTER_IDL = InterfaceDef(
+    "Counter",
+    [
+        OperationDef("add", [ParamDef("amount", "long")], result="long"),
+        OperationDef("record", [ParamDef("note", "string")], oneway=True),
+    ],
+)
+
+
+class CounterServant:
+    """A deterministic replicated counter."""
+
+    def __init__(self):
+        self.value = 0
+        self.notes = []
+
+    def add(self, amount):
+        self.value += amount
+        return self.value
+
+    def record(self, note):
+        self.notes.append(note)
+
+
+def build(case, num=6, seed=3, **kwargs):
+    config = ImmuneConfig(case=case, seed=seed)
+    immune = ImmuneSystem(num_processors=num, config=config, **kwargs)
+    server = immune.deploy("counter", COUNTER_IDL, lambda pid: CounterServant(), [0, 1, 2])
+    client = immune.deploy_client("driver", [3, 4, 5])
+    immune.start()
+    return immune, server, client
+
+
+@pytest.mark.parametrize(
+    "case",
+    [
+        SurvivabilityCase.ACTIVE_REPLICATION,
+        SurvivabilityCase.MAJORITY_VOTING,
+        SurvivabilityCase.FULL_SURVIVABILITY,
+    ],
+)
+def test_oneway_invocations_reach_every_server_replica_once(case):
+    immune, server, client = build(case)
+    stubs = immune.client_stubs(client, COUNTER_IDL, server)
+    for i in range(5):
+        for _, stub in stubs:
+            stub.record("note-%d" % i)
+    immune.run(until=3.0)
+    expected = ["note-%d" % i for i in range(5)]
+    for pid, servant in server.servants.items():
+        assert servant.notes == expected, "replica on P%d diverged" % pid
+
+
+@pytest.mark.parametrize(
+    "case",
+    [
+        SurvivabilityCase.ACTIVE_REPLICATION,
+        SurvivabilityCase.MAJORITY_VOTING,
+        SurvivabilityCase.FULL_SURVIVABILITY,
+    ],
+)
+def test_twoway_invocation_returns_voted_result_to_every_client_replica(case):
+    immune, server, client = build(case)
+    stubs = immune.client_stubs(client, COUNTER_IDL, server)
+    results = {pid: [] for pid, _ in stubs}
+    for pid, stub in stubs:
+        stub.add(10, reply_to=results[pid].append)
+    immune.run(until=3.0)
+    # Each server replica processed the single (deduplicated) add once.
+    for servant in server.servants.values():
+        assert servant.value == 10
+    # Every client replica received exactly one reply with the result.
+    for pid, got in results.items():
+        assert got == [10], "client replica on P%d got %r" % (pid, got)
+
+
+def test_sequence_of_twoway_invocations_is_consistent():
+    immune, server, client = build(SurvivabilityCase.FULL_SURVIVABILITY)
+    stubs = immune.client_stubs(client, COUNTER_IDL, server)
+    results = {pid: [] for pid, _ in stubs}
+    for i in range(4):
+        for pid, stub in stubs:
+            stub.add(1, reply_to=results[pid].append)
+    immune.run(until=4.0)
+    for servant in server.servants.values():
+        assert servant.value == 4
+    for got in results.values():
+        assert got == [1, 2, 3, 4]
+
+
+def test_unreplicated_baseline_case1():
+    immune, server, client = build(SurvivabilityCase.UNREPLICATED)
+    assert server.replica_procs == (0,)
+    stubs = immune.client_stubs(client, COUNTER_IDL, server)
+    assert len(stubs) == 1
+    results = []
+    pid, stub = stubs[0]
+    stub.add(5, reply_to=results.append)
+    stub.record("hello")
+    immune.run(until=1.0)
+    assert results == [5]
+    assert server.servants[0].notes == ["hello"]
+
+
+def test_voting_masks_server_value_fault():
+    immune = ImmuneSystem(
+        num_processors=6,
+        config=ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=5),
+    )
+    faulty = {}
+
+    def factory(pid):
+        servant = CounterServant()
+        if pid == 2:
+            wrapped = ValueFaultServant(servant)
+            faulty[pid] = wrapped
+            return wrapped
+        return servant
+
+    server = immune.deploy("counter", COUNTER_IDL, factory, [0, 1, 2])
+    client = immune.deploy_client("driver", [3, 4, 5])
+    immune.start()
+    stubs = immune.client_stubs(client, COUNTER_IDL, server)
+    results = {pid: [] for pid, _ in stubs}
+    for pid, stub in stubs:
+        stub.add(7, reply_to=results[pid].append)
+    immune.run(until=4.0)
+    # The corrupt replica answered 7+666, but output voting masks it.
+    assert faulty[2].corruptions >= 1
+    for got in results.values():
+        assert got == [7]
+
+
+def test_server_value_fault_leads_to_processor_exclusion():
+    immune = ImmuneSystem(
+        num_processors=6,
+        config=ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=5),
+    )
+
+    def factory(pid):
+        servant = CounterServant()
+        return ValueFaultServant(servant) if pid == 2 else servant
+
+    server = immune.deploy("counter", COUNTER_IDL, factory, [0, 1, 2])
+    client = immune.deploy_client("driver", [3, 4, 5])
+    immune.start()
+    stubs = immune.client_stubs(client, COUNTER_IDL, server)
+    for pid, stub in stubs:
+        stub.add(7, reply_to=lambda _: None)
+    immune.run(until=10.0)
+    # The value fault detector attributed the fault to P2; the
+    # membership protocol must have evicted it.
+    members = immune.surviving_members()
+    assert members, "system should still be operational"
+    assert 2 not in members
+    # All of P2's replicas are gone from every object group.
+    assert immune.group_members("counter") == (0, 1)
+
+
+def test_voting_disabled_in_case2_delivers_first_copy_only():
+    immune, server, client = build(SurvivabilityCase.ACTIVE_REPLICATION)
+    stubs = immune.client_stubs(client, COUNTER_IDL, server)
+    for _, stub in stubs:
+        stub.record("once")
+    immune.run(until=2.0)
+    for servant in server.servants.values():
+        assert servant.notes == ["once"]
+    # Duplicate copies were suppressed, not delivered.
+    for pid in server.replica_procs:
+        dup = immune.managers[pid].dup_filter_for("counter")
+        assert dup.stats["suppressed"] >= 1
+
+
+def test_user_exceptions_are_voted_and_delivered_to_every_client_replica():
+    from repro.orb.idl import UserException
+
+    class TooBig(UserException):
+        repository_id = "IDL:repro/TooBig:1.0"
+        members = (("limit", "long"),)
+
+    guarded_idl = InterfaceDef(
+        "Guarded",
+        [
+            OperationDef(
+                "add_small",
+                [ParamDef("amount", "long")],
+                result="long",
+                raises=(TooBig,),
+            )
+        ],
+    )
+
+    class GuardedServant:
+        def __init__(self):
+            self.value = 0
+
+        def add_small(self, amount):
+            if amount > 10:
+                raise TooBig(limit=10)
+            self.value += amount
+            return self.value
+
+    config = ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=8)
+    immune = ImmuneSystem(num_processors=6, config=config)
+    server = immune.deploy("guarded", guarded_idl, lambda pid: GuardedServant(), [0, 1, 2])
+    client = immune.deploy_client("driver", [3, 4, 5])
+    immune.start()
+    stubs = immune.client_stubs(client, guarded_idl, server)
+    outcomes = {pid: [] for pid, _ in stubs}
+    for pid, stub in stubs:
+        stub.add_small(
+            99, reply_to=outcomes[pid].append, on_exception=outcomes[pid].append
+        )
+        stub.add_small(
+            5, reply_to=outcomes[pid].append, on_exception=outcomes[pid].append
+        )
+    immune.run(until=3.0)
+    for pid, got in outcomes.items():
+        assert len(got) == 2, "client on P%d got %r" % (pid, got)
+        assert isinstance(got[0], TooBig) and got[0].values == {"limit": 10}
+        assert got[1] == 5
+    # The rejected invocation must not have mutated any replica.
+    for servant in server.servants.values():
+        assert servant.value == 5
+
+
+def test_client_replicas_see_consistent_interleaving_from_two_clients():
+    config = ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=11)
+    immune = ImmuneSystem(num_processors=6, config=config)
+    server = immune.deploy("counter", COUNTER_IDL, lambda pid: CounterServant(), [0, 1])
+    client_a = immune.deploy_client("alpha", [2, 3])
+    client_b = immune.deploy_client("beta", [4, 5])
+    immune.start()
+    for _, stub in immune.client_stubs(client_a, COUNTER_IDL, server):
+        stub.record("from-alpha")
+    for _, stub in immune.client_stubs(client_b, COUNTER_IDL, server):
+        stub.record("from-beta")
+    immune.run(until=3.0)
+    notes_sets = [tuple(s.notes) for s in server.servants.values()]
+    assert notes_sets[0] == notes_sets[1]
+    assert sorted(notes_sets[0]) == ["from-alpha", "from-beta"]

@@ -1,0 +1,93 @@
+"""Integration tests targeting the membership protocol's corner cases."""
+
+import pytest
+
+from repro.bench.properties import membership_violations
+from repro.multicast.config import SecurityLevel
+from repro.sim.faults import FaultPlan, LinkFaults
+from tests.support import MulticastWorld
+
+
+def test_straggler_catches_up_via_commit_bundle():
+    # Drop everything sent TO P3 during the reconfiguration window, so
+    # it misses the proposal round entirely and must adopt the commit
+    # bundle replayed by the installed members.
+    plan = FaultPlan(active_from=0.4, active_until=1.2)
+    for src in range(4):
+        if src != 3:
+            plan.set_link(src, 3, LinkFaults(loss_prob=1.0))
+    plan.schedule_crash(2, 0.5)
+    world = MulticastWorld(num=4, fault_plan=plan, seed=61).start()
+    world.scheduler.at(0.1, world.endpoints[0].multicast, "g", b"m0")
+    world.run(until=10.0)
+    correct = {0, 1, 3}
+    for pid in correct:
+        assert world.endpoints[pid].members == (0, 1, 3), (
+            "P%d members=%s" % (pid, world.endpoints[pid].members)
+        )
+    assert membership_violations(world.trace, correct, faulty={2}) == []
+    # Everyone — including the straggler — delivered the message.
+    for pid in correct:
+        assert world.delivered_payloads(pid) == [b"m0"]
+
+
+def test_install_assigns_same_ring_id_everywhere():
+    plan = FaultPlan().schedule_crash(1, 0.6)
+    world = MulticastWorld(num=5, fault_plan=plan, seed=62).start()
+    world.run(until=6.0)
+    rings = {pid: world.endpoints[pid].ring_id for pid in (0, 2, 3, 4)}
+    assert len(set(rings.values())) == 1, rings
+    histories = {
+        pid: world.endpoints[pid].membership.installed_history
+        for pid in (0, 2, 3, 4)
+    }
+    reference = histories[0]
+    assert all(h == reference for h in histories.values())
+
+
+def test_membership_changes_are_announced_exactly_once_per_install():
+    plan = FaultPlan().schedule_crash(3, 0.6)
+    world = MulticastWorld(num=4, fault_plan=plan, seed=63).start()
+    world.run(until=6.0)
+    for pid in (0, 1, 2):
+        changes = world.memberships[pid]
+        rings = [ring for ring, _, _ in changes]
+        assert rings == sorted(set(rings)), "duplicate installs at P%d" % pid
+        # The final change names the excluded processor.
+        assert changes[-1][2] == (3,)
+
+
+def test_consecutive_reconfigurations_converge():
+    plan = FaultPlan().schedule_crash(1, 0.5).schedule_crash(2, 0.55)
+    world = MulticastWorld(num=7, fault_plan=plan, seed=64).start()
+    world.scheduler.at(3.5, world.endpoints[0].multicast, "g", b"alive")
+    world.run(until=10.0)
+    correct = {0, 3, 4, 5, 6}
+    for pid in correct:
+        assert world.endpoints[pid].members == (0, 3, 4, 5, 6)
+        assert world.delivered_payloads(pid) == [b"alive"]
+    assert membership_violations(world.trace, correct, faulty={1, 2}) == []
+
+
+def test_digests_level_also_reconfigures():
+    # Membership reconfiguration must work below the SIGNATURES level
+    # too (proposals are unsigned there, matching the security level).
+    plan = FaultPlan().schedule_crash(2, 0.5)
+    world = MulticastWorld(
+        num=4, security=SecurityLevel.DIGESTS, fault_plan=plan, seed=65
+    ).start()
+    world.scheduler.at(3.0, world.endpoints[0].multicast, "g", b"post")
+    world.run(until=8.0)
+    for pid in (0, 1, 3):
+        assert world.endpoints[pid].members == (0, 1, 3)
+        assert world.delivered_payloads(pid) == [b"post"]
+
+
+def test_minimum_viable_ring_of_two():
+    plan = FaultPlan().schedule_crash(2, 0.5)
+    world = MulticastWorld(num=3, fault_plan=plan, seed=66).start()
+    world.scheduler.at(3.0, world.endpoints[0].multicast, "g", b"pair")
+    world.run(until=8.0)
+    for pid in (0, 1):
+        assert world.endpoints[pid].members == (0, 1)
+        assert world.delivered_payloads(pid) == [b"pair"]

@@ -1,0 +1,104 @@
+"""Integration tests: the multicast stack on a healthy LAN."""
+
+import pytest
+
+from repro.multicast.config import SecurityLevel
+from tests.support import MulticastWorld
+
+
+@pytest.mark.parametrize(
+    "security",
+    [SecurityLevel.NONE, SecurityLevel.DIGESTS, SecurityLevel.SIGNATURES],
+)
+def test_all_processors_deliver_same_messages_in_same_order(security):
+    world = MulticastWorld(num=4, security=security).start()
+    for i in range(10):
+        world.endpoints[i % 4].multicast("group-a", b"msg-%d" % i)
+    world.run(until=2.0)
+    sequences = [world.delivered[p] for p in range(4)]
+    assert all(seq == sequences[0] for seq in sequences[1:])
+    assert len(sequences[0]) == 10
+
+
+def test_messages_for_different_groups_share_one_total_order():
+    world = MulticastWorld(num=3, security=SecurityLevel.SIGNATURES).start()
+    world.endpoints[0].multicast("alpha", b"a1")
+    world.endpoints[1].multicast("beta", b"b1")
+    world.endpoints[2].multicast("alpha", b"a2")
+    world.run(until=2.0)
+    orders = [[(g, p) for _, _, g, p in world.delivered[i]] for i in range(3)]
+    assert orders[0] == orders[1] == orders[2]
+    assert sorted(orders[0]) == [("alpha", b"a1"), ("alpha", b"a2"), ("beta", b"b1")]
+
+
+def test_delivery_includes_sender_and_contiguous_seq():
+    world = MulticastWorld(num=3, security=SecurityLevel.DIGESTS).start()
+    for i in range(6):
+        world.endpoints[0].multicast("g", b"m%d" % i)
+    world.run(until=2.0)
+    records = world.delivered[1]
+    assert len(records) == 6
+    seqs = [seq for seq, _, _, _ in records]
+    assert seqs == sorted(seqs)
+    assert all(sender == 0 for _, sender, _, _ in records)
+    assert [p for _, _, _, p in records] == [b"m%d" % i for i in range(6)]
+
+
+def test_more_messages_than_one_token_visit():
+    # 25 messages from one sender with j=6 need five token visits.
+    world = MulticastWorld(num=3, security=SecurityLevel.SIGNATURES).start()
+    for i in range(25):
+        world.endpoints[1].multicast("g", b"x%02d" % i)
+    world.run(until=3.0)
+    for p in range(3):
+        assert world.delivered_payloads(p) == [b"x%02d" % i for i in range(25)]
+
+
+def test_initial_membership_installed_everywhere():
+    world = MulticastWorld(num=5).start()
+    world.run(until=0.5)
+    for p in range(5):
+        assert world.memberships[p][0] == (1, (0, 1, 2, 3, 4), ())
+        assert world.endpoints[p].members == (0, 1, 2, 3, 4)
+
+
+def test_quiet_ring_stays_stable():
+    # With nothing to send, the token just circulates: no suspicion,
+    # no reconfiguration.
+    world = MulticastWorld(num=4).start()
+    world.run(until=2.0)
+    for p in range(4):
+        assert len(world.memberships[p]) == 1
+        assert world.endpoints[p].detector.suspects() == set()
+
+
+def test_single_processor_ring():
+    world = MulticastWorld(num=1).start()
+    world.endpoints[0].multicast("g", b"solo")
+    world.run(until=1.0)
+    assert world.delivered_payloads(0) == [b"solo"]
+
+
+def test_large_payloads_survive():
+    world = MulticastWorld(num=3, security=SecurityLevel.SIGNATURES).start()
+    blob = bytes(range(256)) * 8  # 2 KiB
+    world.endpoints[2].multicast("g", blob)
+    world.run(until=1.0)
+    for p in range(3):
+        assert world.delivered_payloads(p) == [blob]
+
+
+def test_signature_level_charges_signing_cpu():
+    world = MulticastWorld(num=3, security=SecurityLevel.SIGNATURES).start()
+    world.run(until=0.5)
+    accounting = world.processors[0].cpu_accounting
+    assert accounting.get("crypto.sign", 0) > 0
+    assert accounting.get("crypto.verify", 0) > 0
+
+
+def test_none_level_does_not_sign():
+    world = MulticastWorld(num=3, security=SecurityLevel.NONE).start()
+    world.endpoints[0].multicast("g", b"m")
+    world.run(until=0.5)
+    accounting = world.processors[0].cpu_accounting
+    assert accounting.get("crypto.sign", 0) == 0

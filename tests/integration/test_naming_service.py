@@ -1,0 +1,115 @@
+"""Integration tests: a survivable Naming Service over the Immune stack.
+
+Bootstrap through a replicated name service — the canonical CORBA
+pattern — with every bind and resolve actively replicated and voted,
+surviving a corrupt naming replica.
+"""
+
+import pytest
+
+from repro.core.config import ImmuneConfig, SurvivabilityCase
+from repro.core.immune import ImmuneSystem
+from repro.core.replica import ValueFaultServant
+from repro.orb.idl import InterfaceDef, OperationDef, ParamDef
+from repro.workloads.naming import (
+    NamingClient,
+    NamingServant,
+    NAMING_IDL,
+    NotFound,
+)
+
+GREETER_IDL = InterfaceDef(
+    "Greeter", [OperationDef("greet", [ParamDef("who", "string")], result="string")]
+)
+
+
+class GreeterServant:
+    def greet(self, who):
+        return "hello, %s" % who
+
+
+def build(naming_factory=None, seed=47):
+    config = ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=seed)
+    immune = ImmuneSystem(num_processors=6, config=config)
+    factory = naming_factory or (lambda pid: NamingServant())
+    naming = immune.deploy("naming", NAMING_IDL, factory, [0, 1, 2])
+    greeter = immune.deploy("greeter", GREETER_IDL, lambda pid: GreeterServant(), [3, 4, 5])
+    client = immune.deploy_client("app", [0, 4, 5])
+    immune.start()
+    return immune, naming, greeter, client
+
+
+def test_bind_resolve_invoke_through_the_name_service():
+    immune, naming, greeter, client = build()
+    ns = NamingClient(immune, client, naming)
+    greetings = []
+
+    def on_resolved(pid, stub):
+        stub.greet("immune", reply_to=greetings.append)
+
+    immune.scheduler.at(0.2, ns.bind, "services/greeter", greeter)
+    immune.scheduler.at(
+        1.5, ns.resolve_stub, "services/greeter", GREETER_IDL, on_resolved
+    )
+    immune.run(until=4.0)
+    # Every client replica resolved and invoked; all voted replies equal.
+    assert greetings == ["hello, immune"] * 3
+
+
+def test_resolve_miss_raises_voted_notfound():
+    immune, naming, greeter, client = build()
+    errors = []
+    stubs = immune.client_stubs(client, NAMING_IDL, naming)
+    for pid, stub in stubs:
+        stub.resolve(
+            "services/unknown",
+            reply_to=lambda _t: pytest.fail("should not resolve"),
+            on_exception=errors.append,
+        )
+    immune.run(until=3.0)
+    assert len(errors) == 3
+    assert all(isinstance(e, NotFound) for e in errors)
+    assert all(e.values["rest_of_name"] == "services/unknown" for e in errors)
+
+
+def test_corrupt_naming_replica_cannot_redirect_lookups():
+    # The attack the Immune system exists to stop: a corrupted name
+    # service replica answering lookups with a wrong (attacker-chosen)
+    # reference.  Voting discards its answer.
+    def factory(pid):
+        servant = NamingServant()
+        if pid == 2:
+            return ValueFaultServant(servant, corrupt_operations={"resolve"})
+        return servant
+
+    immune, naming, greeter, client = build(naming_factory=factory, seed=48)
+    ns = NamingClient(immune, client, naming)
+    greetings = []
+
+    def on_resolved(pid, stub):
+        stub.greet("world", reply_to=greetings.append)
+
+    immune.scheduler.at(0.2, ns.bind, "services/greeter", greeter)
+    immune.scheduler.at(
+        1.5, ns.resolve_stub, "services/greeter", GREETER_IDL, on_resolved
+    )
+    immune.run(until=8.0)
+    assert greetings == ["hello, world"] * 3
+    # And the corrupt naming replica's processor was evicted.
+    assert 2 not in immune.surviving_members()
+
+
+def test_name_listing_is_consistent():
+    immune, naming, greeter, client = build()
+    ns = NamingClient(immune, client, naming)
+    listings = []
+    immune.scheduler.at(0.2, ns.bind, "services/greeter", greeter)
+    immune.scheduler.at(0.3, ns.bind, "services/naming", naming)
+
+    def query():
+        for pid, stub in immune.client_stubs(client, NAMING_IDL, naming):
+            stub.list_names("services/", reply_to=listings.append)
+
+    immune.scheduler.at(1.5, query)
+    immune.run(until=4.0)
+    assert listings == [["services/greeter", "services/naming"]] * 3

@@ -1,0 +1,162 @@
+"""Integration tests: warm-passive replication and its limits.
+
+The point of this mode is the paper's section 5 argument: passive
+replication handles crash faults cheaply, but a corrupted primary's
+value faults reach the clients — only active replication with majority
+voting masks them.
+"""
+
+import pytest
+
+from repro.core.config import ConfigError, ImmuneConfig, SurvivabilityCase
+from repro.core.immune import ImmuneSystem
+from repro.core.replica import ValueFaultServant
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.orb.idl import InterfaceDef, OperationDef, ParamDef
+from repro.sim.faults import FaultPlan
+
+COUNTER_IDL = InterfaceDef(
+    "Counter",
+    [
+        OperationDef("add", [ParamDef("amount", "long")], result="long"),
+        OperationDef("bump", [ParamDef("amount", "long")], oneway=True),
+    ],
+)
+
+
+class CounterServant:
+    def __init__(self):
+        self.value = 0
+        self.executions = 0
+
+    def add(self, amount):
+        self.executions += 1
+        self.value += amount
+        return self.value
+
+    def bump(self, amount):
+        self.executions += 1
+        self.value += amount
+
+    def get_state(self):
+        return CdrEncoder().write("longlong", self.value).getvalue()
+
+    def set_state(self, state):
+        self.value = CdrDecoder(state).read("longlong")
+
+
+def build(servant_factory=None, fault_plan=None, seed=37):
+    config = ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=seed)
+    immune = ImmuneSystem(num_processors=6, config=config, fault_plan=fault_plan)
+    factory = servant_factory or (lambda pid: CounterServant())
+    server = immune.deploy_passive("counter", COUNTER_IDL, factory, [0, 1, 2])
+    client = immune.deploy_client("teller", [3, 4, 5])
+    immune.start()
+    return immune, server, client
+
+
+def test_primary_alone_executes_backups_stay_warm():
+    immune, server, client = build()
+    stubs = immune.client_stubs(client, COUNTER_IDL, server)
+    replies = {pid: [] for pid, _ in stubs}
+    for pid, stub in stubs:
+        stub.add(5, reply_to=replies[pid].append)
+        stub.add(7, reply_to=replies[pid].append)
+    immune.run(until=3.0)
+    for got in replies.values():
+        assert got == [5, 12]
+    # Only the primary executed; the backups were checkpointed to the
+    # same state without running the operations.
+    assert server.servants[0].executions == 2
+    assert server.servants[1].executions == 0
+    assert server.servants[2].executions == 0
+    assert [server.servants[pid].value for pid in (0, 1, 2)] == [12, 12, 12]
+
+
+def test_oneway_operations_are_checkpointed_too():
+    immune, server, client = build()
+    stubs = immune.client_stubs(client, COUNTER_IDL, server)
+    for _, stub in stubs:
+        stub.bump(3)
+        stub.bump(4)
+    immune.run(until=3.0)
+    assert [server.servants[pid].value for pid in (0, 1, 2)] == [7, 7, 7]
+    assert server.servants[1].executions == 0
+
+
+def test_failover_promotes_next_backup_with_current_state():
+    plan = FaultPlan().schedule_crash(0, 2.0)
+    immune, server, client = build(fault_plan=plan)
+    stubs = immune.client_stubs(client, COUNTER_IDL, server)
+    replies = {pid: [] for pid, _ in stubs}
+
+    def invoke(amount):
+        for pid, stub in stubs:
+            if not immune.processors[pid].crashed:
+                stub.add(amount, reply_to=replies[pid].append)
+
+    immune.scheduler.at(0.3, invoke, 10)   # executed by P0
+    immune.scheduler.at(5.0, invoke, 5)    # P0 dead: executed by P1
+    immune.run(until=8.0)
+    for got in replies.values():
+        assert got == [10, 15]
+    assert server.servants[1].executions == 1  # promoted backup ran it
+    assert server.servants[1].value == 15
+    assert server.servants[2].value == 15      # still warm behind the new primary
+    assert immune.group_members("counter") == (1, 2)
+
+
+def test_passive_cannot_mask_a_corrupt_primary():
+    # The same value fault that active replication masks (see
+    # test_voting_masks_server_value_fault) reaches the clients here.
+    def factory(pid):
+        servant = CounterServant()
+        return ValueFaultServant(servant, corrupt_operations={"add"}) if pid == 0 else servant
+
+    immune, server, client = build(servant_factory=factory, seed=38)
+    stubs = immune.client_stubs(client, COUNTER_IDL, server)
+    replies = {pid: [] for pid, _ in stubs}
+    for pid, stub in stubs:
+        stub.add(5, reply_to=replies[pid].append)
+    immune.run(until=3.0)
+    for got in replies.values():
+        assert got == [5 + 666], "passive replication delivered the corruption"
+
+
+def test_client_timeout_and_retry_covers_the_failover_window():
+    # Passive replication's known window: an operation in flight when
+    # the primary dies is lost (no other replica executed it).  The
+    # ORB-level invocation deadline lets clients detect and retry.
+    from repro.orb.giop import InvocationTimeout
+
+    plan = FaultPlan().schedule_crash(0, 0.299)  # die just as the op arrives
+    immune, server, client = build(fault_plan=plan)
+    stubs = immune.client_stubs(client, COUNTER_IDL, server)
+    outcomes = {pid: [] for pid, _ in stubs}
+
+    def invoke(attempt):
+        for pid, stub in stubs:
+            if not immune.processors[pid].crashed:
+                stub.add(
+                    10,
+                    reply_to=lambda v, pid=pid: outcomes[pid].append(v),
+                    on_exception=lambda e, pid=pid: outcomes[pid].append(e),
+                    timeout=3.0,
+                )
+
+    immune.scheduler.at(0.295, invoke, 1)
+    immune.scheduler.at(6.0, invoke, 2)  # the application-level retry
+    immune.run(until=10.0)
+    for pid, got in outcomes.items():
+        assert len(got) == 2, "client on P%d got %r" % (pid, got)
+        assert isinstance(got[0], InvocationTimeout) or got[0] in (10, 20), got
+        assert got[-1] in (10, 20)  # the retry succeeded
+    # The promoted primary executed the retry.
+    assert server.servants[1].executions >= 1
+
+
+def test_passive_requires_replicated_case():
+    config = ImmuneConfig(case=SurvivabilityCase.UNREPLICATED)
+    immune = ImmuneSystem(num_processors=2, config=config)
+    with pytest.raises(ConfigError):
+        immune.deploy_passive("x", COUNTER_IDL, lambda pid: CounterServant(), [0])

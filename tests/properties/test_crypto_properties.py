@@ -1,0 +1,70 @@
+"""Property-based tests for the crypto substrate."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.md4 import md4_digest
+from repro.crypto.rsa import generate_keypair
+
+_KEYPAIR = generate_keypair(random.Random(77), modulus_bits=300)
+_OTHER = generate_keypair(random.Random(78), modulus_bits=300)
+
+
+@given(st.binary(max_size=512))
+@settings(max_examples=200)
+def test_md4_is_deterministic_and_fixed_size(data):
+    assert md4_digest(data) == md4_digest(data)
+    assert len(md4_digest(data)) == 16
+
+
+@given(st.binary(max_size=256), st.binary(max_size=256))
+@settings(max_examples=200)
+def test_md4_distinguishes_inputs(a, b):
+    if a != b:
+        assert md4_digest(a) != md4_digest(b)
+
+
+@given(st.binary(min_size=1, max_size=128), st.integers(0, 127))
+@settings(max_examples=100)
+def test_md4_single_bit_flip_changes_digest(data, position):
+    flipped = bytearray(data)
+    index = position % len(flipped)
+    flipped[index] ^= 0x01
+    assert md4_digest(data) != md4_digest(bytes(flipped))
+
+
+@given(st.binary(max_size=256))
+@settings(max_examples=50)
+def test_rsa_sign_verify_roundtrip(message):
+    digest = md4_digest(message)
+    signature = _KEYPAIR.sign(digest)
+    assert _KEYPAIR.public.verify(digest, signature)
+
+
+@given(st.binary(max_size=128), st.binary(max_size=128))
+@settings(max_examples=50)
+def test_rsa_signature_binds_to_digest(message_a, message_b):
+    digest_a = md4_digest(message_a)
+    digest_b = md4_digest(message_b)
+    signature = _KEYPAIR.sign(digest_a)
+    if digest_a != digest_b:
+        assert not _KEYPAIR.public.verify(digest_b, signature)
+
+
+@given(st.binary(max_size=128))
+@settings(max_examples=50)
+def test_rsa_signature_binds_to_key(message):
+    digest = md4_digest(message)
+    signature = _KEYPAIR.sign(digest)
+    assert not _OTHER.public.verify(digest, signature)
+
+
+@given(st.binary(max_size=64), st.integers(min_value=1))
+@settings(max_examples=50)
+def test_rsa_tampered_signature_rejected(message, delta):
+    digest = md4_digest(message)
+    signature = _KEYPAIR.sign(digest)
+    tampered = (signature + delta) % _KEYPAIR.public.n
+    if tampered != signature:
+        assert not _KEYPAIR.public.verify(digest, tampered)

@@ -1,0 +1,87 @@
+"""Property-based tests: the voting algorithm's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.groups import ObjectGroupTable
+from repro.core.voting import LateFault, VoteDecision, Voter
+from repro.crypto.md4 import md4_digest
+
+OP = ("inv", "client", "server", 0)
+
+
+def make_voter(degree):
+    table = ObjectGroupTable()
+    table.create("client", list(range(degree)))
+    return Voter("server", table, md4_digest)
+
+
+@given(
+    degree=st.sampled_from([3, 5, 7]),
+    corrupt_count=st.integers(0, 3),
+    order_seed=st.randoms(use_true_random=False),
+)
+@settings(max_examples=100)
+def test_honest_majority_always_wins(degree, corrupt_count, order_seed):
+    """With a minority of corrupt senders, every arrival order delivers
+    the honest value and flags exactly the corrupt senders."""
+    corrupt_count = min(corrupt_count, (degree - 1) // 2)
+    corrupt = set(range(corrupt_count))
+    copies = [
+        (sender, b"CORRUPT-%d" % sender if sender in corrupt else b"honest")
+        for sender in range(degree)
+    ]
+    order_seed.shuffle(copies)
+    voter = make_voter(degree)
+    decision = None
+    flagged = set()
+    for sender, body in copies:
+        outcome = voter.add_copy("client", OP, sender, body)
+        if isinstance(outcome, VoteDecision):
+            assert decision is None, "vote must decide exactly once"
+            decision = outcome
+            flagged |= outcome.faulty_senders
+        elif isinstance(outcome, LateFault):
+            flagged.add(outcome.sender)
+    assert decision is not None
+    assert decision.body == b"honest"
+    assert flagged == corrupt
+
+
+@given(
+    degree=st.sampled_from([3, 5]),
+    num_ops=st.integers(1, 10),
+    order_seed=st.randoms(use_true_random=False),
+)
+@settings(max_examples=50)
+def test_two_voters_fed_same_order_agree(degree, num_ops, order_seed):
+    """Determinism: identical input sequences yield identical outputs."""
+    copies = []
+    for op in range(num_ops):
+        for sender in range(degree):
+            body = b"v%d" % op if sender != 0 else b"X%d" % op
+            copies.append((("inv", "client", "server", op), sender, body))
+    order_seed.shuffle(copies)
+    outputs = []
+    for _ in range(2):
+        voter = make_voter(degree)
+        log = []
+        for op_key, sender, body in copies:
+            outcome = voter.add_copy("client", op_key, sender, body)
+            if isinstance(outcome, VoteDecision):
+                log.append((op_key, outcome.body, tuple(sorted(outcome.faulty_senders))))
+        outputs.append(log)
+    assert outputs[0] == outputs[1]
+
+
+@given(degree=st.sampled_from([2, 3, 4, 5, 6, 7]))
+@settings(max_examples=20)
+def test_majority_threshold_is_strict(degree):
+    """One fewer than ceil((r+1)/2) identical copies never decides."""
+    voter = make_voter(degree)
+    needed = (degree + 2) // 2
+    outcome = None
+    for sender in range(needed - 1):
+        outcome = voter.add_copy("client", OP, sender, b"v")
+    assert outcome is None
+    final = voter.add_copy("client", OP, needed - 1, b"v")
+    assert isinstance(final, VoteDecision)

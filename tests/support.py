@@ -1,0 +1,96 @@
+"""Shared test harness: builds complete simulated multicast worlds."""
+
+import random
+
+from repro.crypto.costmodel import CryptoCostModel
+from repro.crypto.keystore import KeyStore
+from repro.multicast.config import MulticastConfig, SecurityLevel
+from repro.multicast.endpoint import SecureGroupEndpoint
+from repro.sim.faults import FaultPlan
+from repro.sim.network import Network, NetworkParams
+from repro.sim.process import Processor
+from repro.sim.rng import RngStreams
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import TraceLog
+
+
+class MulticastWorld:
+    """N processors running the Secure Multicast Protocols on one LAN."""
+
+    def __init__(
+        self,
+        num=4,
+        security=SecurityLevel.SIGNATURES,
+        seed=1,
+        fault_plan=None,
+        modulus_bits=256,
+        config=None,
+        net_params=None,
+        trace_kinds=None,
+    ):
+        self.scheduler = Scheduler()
+        self.streams = RngStreams(seed)
+        self.trace = TraceLog(self.scheduler, enabled_kinds=trace_kinds)
+        self.fault_plan = fault_plan
+        self.network = Network(
+            self.scheduler,
+            params=net_params or NetworkParams(),
+            rng=self.streams.stream("net"),
+            fault_plan=fault_plan,
+            trace=None,
+        )
+        self.keystore = KeyStore(random.Random(seed), modulus_bits=modulus_bits)
+        self.crypto_costs = CryptoCostModel(modulus_bits=modulus_bits)
+        self.config = config or MulticastConfig(security=security)
+        self.processors = {}
+        self.endpoints = {}
+        self.delivered = {}
+        self.memberships = {}
+        for proc_id in range(num):
+            processor = Processor(proc_id, self.scheduler)
+            self.network.add_processor(processor)
+            endpoint = SecureGroupEndpoint(
+                processor,
+                self.scheduler,
+                self.network,
+                self.keystore,
+                self.crypto_costs,
+                self.config,
+                self.trace,
+            )
+            self.processors[proc_id] = processor
+            self.endpoints[proc_id] = endpoint
+            self.delivered[proc_id] = []
+            self.memberships[proc_id] = []
+            endpoint.on_deliver(self._recorder(proc_id))
+            endpoint.on_membership_change(self._membership_recorder(proc_id))
+        if fault_plan is not None:
+            fault_plan.arm_crashes(self.scheduler, self.processors)
+
+    def _recorder(self, proc_id):
+        def record(sender_id, seq, dest_group, payload):
+            self.delivered[proc_id].append((seq, sender_id, dest_group, payload))
+
+        return record
+
+    def _membership_recorder(self, proc_id):
+        def record(ring_id, members, excluded):
+            self.memberships[proc_id].append((ring_id, members, excluded))
+
+        return record
+
+    def start(self):
+        members = sorted(self.endpoints)
+        for proc_id in members:
+            self.endpoints[proc_id].start(members)
+        return self
+
+    def run(self, until):
+        self.scheduler.run(until=until)
+        return self
+
+    def correct_ids(self):
+        return [pid for pid, proc in sorted(self.processors.items()) if not proc.crashed]
+
+    def delivered_payloads(self, proc_id):
+        return [payload for _, _, _, payload in self.delivered[proc_id]]

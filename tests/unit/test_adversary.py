@@ -1,0 +1,125 @@
+"""Unit tests for the Byzantine behaviour injectors (mechanics only).
+
+The end-to-end effects are covered by the integration suites; these
+tests verify the injectors themselves: activation times, one-shot
+semantics, restoration, and that each produces exactly the artefact it
+claims to.
+"""
+
+from repro.multicast.adversary import (
+    CrashBehaviour,
+    MalformedTokenBehaviour,
+    MasqueradeBehaviour,
+    MutantTokenBehaviour,
+    ReceiveOmissionBehaviour,
+    SilentBehaviour,
+)
+from repro.multicast.messages import decode_frame, RegularMessage
+from repro.multicast.token import Token
+from tests.support import MulticastWorld
+
+
+def test_crash_behaviour_crashes_at_time():
+    world = MulticastWorld(num=3, seed=50)
+    CrashBehaviour(at_time=0.5).compromise(world.endpoints[2])
+    world.start().run(until=1.0)
+    assert world.processors[2].crashed
+    assert world.processors[2].crash_time == 0.5
+
+
+def test_silent_behaviour_counts_swallowed_tokens():
+    world = MulticastWorld(num=3, seed=51)
+    behaviour = SilentBehaviour(at_time=0.1).compromise(world.endpoints[0])
+    world.start().run(until=0.5)
+    assert behaviour.activations >= 1
+
+
+def test_receive_omission_blocks_only_regular_messages():
+    world = MulticastWorld(num=3, seed=52)
+    behaviour = ReceiveOmissionBehaviour(at_time=0.0).compromise(world.endpoints[1])
+    world.start()
+    world.endpoints[0].multicast("g", b"dropped-at-1")
+    world.run(until=1.0)
+    assert behaviour.activations >= 1
+    assert world.delivered_payloads(1) == []
+    assert world.delivered_payloads(2) == [b"dropped-at-1"]
+    # Tokens still flow through it: it keeps accepting token visits.
+    assert world.endpoints[1].delivery.stats["token_visits"] > 0
+
+
+def test_mutant_behaviour_sends_two_valid_signed_variants():
+    world = MulticastWorld(num=4, seed=53)
+    captured = []
+    original_unicast = world.network.unicast
+
+    def spy(src, dst, port, payload):
+        captured.append((src, dst, payload))
+        original_unicast(src, dst, port, payload)
+
+    world.network.unicast = spy
+    behaviour = MutantTokenBehaviour(at_time=0.05).compromise(world.endpoints[0])
+    world.start().run(until=0.5)
+    behaviour.restore()
+    assert behaviour.activations == 1
+    frames = {}
+    for src, dst, payload in captured:
+        if src == 0:
+            frame = decode_frame(payload)
+            if isinstance(frame, Token):
+                frames.setdefault((frame.ring_id, frame.visit), set()).add(payload)
+    variants = [v for v in frames.values() if len(v) > 1]
+    assert variants, "the behaviour must have sent two token variants"
+    # Both variants carry valid signatures from the compromised holder.
+    signing = world.endpoints[1].signing
+    for raw in variants[0]:
+        token = decode_frame(raw)
+        assert signing.verify(token.sender_id, token.signable_bytes(), token.signature)
+
+
+def test_mutant_behaviour_restore_untaps_network():
+    world = MulticastWorld(num=3, seed=54)
+    original = world.network.broadcast
+    behaviour = MutantTokenBehaviour().compromise(world.endpoints[0])
+    assert world.network.broadcast != original
+    behaviour.restore()
+    assert world.network.broadcast == original
+
+
+def test_masquerade_injects_forged_sender_id():
+    world = MulticastWorld(num=3, seed=55)
+    seen = []
+    original_broadcast = world.network.broadcast
+
+    def spy(src, port, payload):
+        frame = decode_frame(payload)
+        if isinstance(frame, RegularMessage):
+            seen.append((src, frame.sender_id, frame.payload))
+        original_broadcast(src, port, payload)
+
+    world.network.broadcast = spy
+    MasqueradeBehaviour(victim_id=1, dest_group="g", payload=b"FORGED", at_time=0.2).compromise(
+        world.endpoints[2]
+    )
+    world.start().run(until=0.5)
+    forged = [(src, claimed) for src, claimed, payload in seen if payload == b"FORGED"]
+    assert forged == [(2, 1)]  # actually sent by P2, claiming P1
+
+
+def test_malformed_token_behaviour_emits_ill_formed_token():
+    world = MulticastWorld(num=3, seed=56)
+    bogus = []
+    original_broadcast = world.network.broadcast
+
+    def spy(src, port, payload):
+        frame = decode_frame(payload)
+        if isinstance(frame, Token) and not frame.well_formed((0, 1, 2)):
+            bogus.append(frame)
+        original_broadcast(src, port, payload)
+
+    world.network.broadcast = spy
+    MalformedTokenBehaviour(at_time=0.2).compromise(world.endpoints[2])
+    world.start().run(until=0.5)
+    # The behaviour's token is flagged; later tokens of the post-
+    # exclusion ring (0, 1) also fail the three-member form check, so
+    # only assert that the injected one is present.
+    assert any(t.sender_id == 2 and t.aru > t.seq for t in bogus)

@@ -1,0 +1,193 @@
+"""Unit tests for CDR marshalling."""
+
+import pytest
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder, MarshalError
+
+
+def roundtrip(tag, value):
+    data = CdrEncoder().write(tag, value).getvalue()
+    return CdrDecoder(data).read(tag)
+
+
+@pytest.mark.parametrize(
+    "tag,value",
+    [
+        ("boolean", True),
+        ("boolean", False),
+        ("octet", 255),
+        ("short", -12345),
+        ("ushort", 54321),
+        ("long", -2_000_000_000),
+        ("ulong", 4_000_000_000),
+        ("longlong", -(2**62)),
+        ("ulonglong", 2**63),
+        ("double", 3.141592653589793),
+        ("string", "hello world"),
+        ("string", ""),
+        ("string", "ünïcödé"),
+        ("octets", b"\x00\x01\xff"),
+        ("octets", b""),
+        (("sequence", "long"), [1, -2, 3]),
+        (("sequence", "string"), ["a", "bb", ""]),
+        (("sequence", ("sequence", "octet")), [[1, 2], [], [3]]),
+        (
+            ("struct", (("id", "ulong"), ("name", "string"))),
+            {"id": 7, "name": "replica"},
+        ),
+    ],
+)
+def test_roundtrip(tag, value):
+    assert roundtrip(tag, value) == value
+
+
+def test_float_roundtrip_is_approximate():
+    assert roundtrip("float", 1.5) == 1.5  # exactly representable
+
+
+COLOR = ("enum", ("RED", "GREEN", "BLUE"))
+SHAPE = (
+    "union",
+    (("circle", "double"), ("label", "string"), ("points", ("sequence", "long"))),
+)
+
+
+@pytest.mark.parametrize("value", ["RED", "GREEN", "BLUE"])
+def test_enum_roundtrip(value):
+    assert roundtrip(COLOR, value) == value
+
+
+def test_enum_is_marshalled_as_ordinal():
+    data = CdrEncoder().write(COLOR, "BLUE").getvalue()
+    assert data == (2).to_bytes(4, "little")
+
+
+def test_enum_unknown_member_rejected():
+    with pytest.raises(MarshalError):
+        CdrEncoder().write(COLOR, "MAUVE")
+
+
+def test_enum_out_of_range_ordinal_rejected():
+    data = (9).to_bytes(4, "little")
+    with pytest.raises(MarshalError):
+        CdrDecoder(data).read(COLOR)
+
+
+@pytest.mark.parametrize(
+    "value",
+    [("circle", 2.5), ("label", "hello"), ("points", [1, 2, 3])],
+)
+def test_union_roundtrip(value):
+    assert roundtrip(SHAPE, value) == value
+
+
+def test_union_unknown_case_rejected():
+    with pytest.raises(MarshalError):
+        CdrEncoder().write(SHAPE, ("triangle", 1))
+
+
+def test_union_requires_pair():
+    with pytest.raises(MarshalError):
+        CdrEncoder().write(SHAPE, "circle")
+
+
+def test_union_bad_discriminator_rejected():
+    data = (9).to_bytes(4, "little")
+    with pytest.raises(MarshalError):
+        CdrDecoder(data).read(SHAPE)
+
+
+def test_enum_inside_struct_and_sequence():
+    tag = ("struct", (("colors", ("sequence", COLOR)), ("pick", SHAPE)))
+    value = {"colors": ["RED", "RED", "BLUE"], "pick": ("label", "x")}
+    assert roundtrip(tag, value) == value
+
+
+def test_alignment_of_mixed_fields():
+    encoder = CdrEncoder()
+    encoder.write("octet", 1)
+    encoder.write("ulong", 0x11223344)  # must align to offset 4
+    data = encoder.getvalue()
+    assert len(data) == 8
+    assert data[1:4] == b"\x00\x00\x00"
+    decoder = CdrDecoder(data)
+    assert decoder.read("octet") == 1
+    assert decoder.read("ulong") == 0x11223344
+
+
+def test_alignment_of_double_after_short():
+    encoder = CdrEncoder()
+    encoder.write("short", 1)
+    encoder.write("double", 2.0)
+    data = encoder.getvalue()
+    assert len(data) == 16
+    decoder = CdrDecoder(data)
+    decoder.read("short")
+    assert decoder.read("double") == 2.0
+
+
+def test_string_includes_nul_in_length():
+    data = CdrEncoder().write("string", "ab").getvalue()
+    assert data[:4] == (3).to_bytes(4, "little")
+    assert data[4:7] == b"ab\x00"
+
+
+def test_truncated_data_raises():
+    data = CdrEncoder().write("ulong", 7).getvalue()
+    with pytest.raises(MarshalError):
+        CdrDecoder(data[:2]).read("ulong")
+
+
+def test_truncated_string_raises():
+    data = CdrEncoder().write("string", "hello").getvalue()
+    with pytest.raises(MarshalError):
+        CdrDecoder(data[:-2]).read("string")
+
+
+def test_string_without_nul_raises():
+    encoder = CdrEncoder()
+    encoder.write("ulong", 2)
+    data = encoder.getvalue() + b"ab"
+    with pytest.raises(MarshalError):
+        CdrDecoder(data).read("string")
+
+
+def test_absurd_sequence_length_raises():
+    data = CdrEncoder().write("ulong", 2**31).getvalue()
+    with pytest.raises(MarshalError):
+        CdrDecoder(data).read(("sequence", "octet"))
+
+
+def test_unknown_tag_raises():
+    with pytest.raises(MarshalError):
+        CdrEncoder().write("wchar", "x")
+    with pytest.raises(MarshalError):
+        CdrDecoder(b"\x00\x00\x00\x00").read(("map", "x"))
+
+
+def test_type_mismatch_raises():
+    with pytest.raises(MarshalError):
+        CdrEncoder().write("string", 42)
+    with pytest.raises(MarshalError):
+        CdrEncoder().write("octets", "not bytes")
+    with pytest.raises(MarshalError):
+        CdrEncoder().write(("sequence", "long"), 42)
+    with pytest.raises(MarshalError):
+        CdrEncoder().write("ulong", -1)
+
+
+def test_struct_missing_field_raises():
+    tag = ("struct", (("a", "long"), ("b", "long")))
+    with pytest.raises(MarshalError):
+        CdrEncoder().write(tag, {"a": 1})
+
+
+def test_decoder_position_tracking():
+    data = CdrEncoder().write("ulong", 1).write("ulong", 2).getvalue()
+    decoder = CdrDecoder(data)
+    assert decoder.remaining() == 8
+    decoder.read("ulong")
+    assert decoder.position == 4
+    assert not decoder.at_end()
+    decoder.read("ulong")
+    assert decoder.at_end()

@@ -1,0 +1,110 @@
+"""Unit tests for the Byzantine fault detector's suspicion semantics."""
+
+import pytest
+
+from repro.multicast.detector import ByzantineFaultDetector, PROVABLE_REASONS
+from repro.sim.scheduler import Scheduler
+from repro.sim.tracing import TraceLog
+
+
+@pytest.fixture
+def detector():
+    sched = Scheduler()
+    return ByzantineFaultDetector(0, sched, TraceLog(sched))
+
+
+def test_suspect_and_query(detector):
+    detector.suspect(2, "fail_to_send")
+    assert detector.is_suspected(2)
+    assert detector.suspects() == {2}
+    assert detector.reasons_for(2) == {"fail_to_send"}
+
+
+def test_never_suspects_self(detector):
+    detector.suspect(0, "fail_to_send")
+    assert detector.suspects() == set()
+
+
+def test_reasons_accumulate(detector):
+    detector.suspect(2, "fail_to_send")
+    detector.suspect(2, "mutant_token")
+    assert detector.reasons_for(2) == {"fail_to_send", "mutant_token"}
+
+
+def test_listeners_fire_once_per_new_reason(detector):
+    events = []
+    detector.on_change(lambda pid, reason: events.append((pid, reason)))
+    detector.suspect(3, "fail_to_ack")
+    detector.suspect(3, "fail_to_ack")  # duplicate: no event
+    detector.suspect(3, "unresponsive")
+    assert events == [(3, "fail_to_ack"), (3, "unresponsive")]
+
+
+def test_absolve_clears_transient_reasons(detector):
+    detector.suspect(2, "fail_to_send")
+    detector.absolve(2)
+    assert not detector.is_suspected(2)
+
+
+def test_absolve_keeps_provable_reasons(detector):
+    detector.suspect(2, "mutant_token")
+    detector.suspect(2, "fail_to_send")
+    detector.absolve(2)
+    assert detector.is_suspected(2)
+    assert detector.reasons_for(2) == {"mutant_token"}
+    assert detector.provable_suspects() == {2}
+
+
+def test_value_fault_is_provable(detector):
+    detector.value_fault_suspect(4)
+    assert detector.provable_suspects() == {4}
+    detector.absolve(4)
+    assert detector.is_suspected(4)
+
+
+def test_repeated_episodes_become_permanent(detector):
+    for _ in range(detector.episode_limit):
+        detector.suspect(2, "fail_to_send")
+        detector.absolve(2)
+    # The last absolve must have been refused.
+    assert detector.is_suspected(2)
+
+
+def test_exclusion_reason_is_provable():
+    assert "excluded" in PROVABLE_REASONS
+
+
+def test_absolve_unknown_is_noop(detector):
+    detector.absolve(9)  # must not raise
+    assert not detector.is_suspected(9)
+
+
+def test_clear_exclusion_forgives_excluded_only(detector):
+    detector.suspect(2, "fail_to_send")
+    detector.suspect(2, "excluded")
+    assert detector.clear_exclusion(2)
+    assert not detector.is_suspected(2)
+
+
+def test_clear_exclusion_refuses_hard_evidence(detector):
+    detector.suspect(2, "mutant_token")
+    detector.suspect(2, "excluded")
+    assert not detector.clear_exclusion(2)
+    assert detector.is_suspected(2)
+
+
+def test_clear_exclusion_resets_episode_counter(detector):
+    for _ in range(detector.episode_limit):
+        detector.suspect(2, "fail_to_send")
+        detector.absolve(2)
+    assert detector.is_suspected(2)  # escalated to permanent
+    assert detector.clear_exclusion(2)
+    # After forgiveness the counter restarts: a single new episode is
+    # transient again.
+    detector.suspect(2, "fail_to_send")
+    detector.absolve(2)
+    assert not detector.is_suspected(2)
+
+
+def test_clear_exclusion_unknown_is_true(detector):
+    assert detector.clear_exclusion(9)

@@ -1,0 +1,69 @@
+"""Unit tests for fault plans (loss, corruption, delay, crash windows)."""
+
+import random
+
+import pytest
+
+from repro.sim.faults import FaultPlan, LinkFaults
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1)
+
+
+def test_default_plan_is_benign(rng):
+    plan = FaultPlan()
+    assert not plan.should_drop(0, 1, 0.0, rng)
+    assert not plan.should_corrupt(0, 1, 0.0, rng)
+    assert plan.extra_delay(0, 1, 0.0, rng) == 0.0
+
+
+def test_certain_loss(rng):
+    plan = FaultPlan(default=LinkFaults(loss_prob=1.0))
+    assert all(plan.should_drop(0, 1, 0.0, rng) for _ in range(10))
+
+
+def test_probabilistic_loss_is_roughly_calibrated(rng):
+    plan = FaultPlan(default=LinkFaults(loss_prob=0.3))
+    drops = sum(plan.should_drop(0, 1, 0.0, rng) for _ in range(2000))
+    assert 450 < drops < 750  # ~30% +/- margin
+
+
+def test_window_bounds(rng):
+    plan = FaultPlan(default=LinkFaults(loss_prob=1.0), active_from=1.0, active_until=2.0)
+    assert not plan.should_drop(0, 1, 0.5, rng)
+    assert plan.should_drop(0, 1, 1.0, rng)
+    assert plan.should_drop(0, 1, 1.999, rng)
+    assert not plan.should_drop(0, 1, 2.0, rng)
+
+
+def test_per_link_overrides(rng):
+    plan = FaultPlan()
+    plan.set_link(0, 1, LinkFaults(loss_prob=1.0, extra_delay=0.5))
+    assert plan.should_drop(0, 1, 0.0, rng)
+    assert not plan.should_drop(1, 0, 0.0, rng)  # directed
+    assert plan.extra_delay(0, 1, 0.0, rng) == 0.5
+    assert plan.extra_delay(1, 0, 0.0, rng) == 0.0
+
+
+def test_egress_helper_covers_all_destinations(rng):
+    plan = FaultPlan()
+    plan.set_processor_egress(2, LinkFaults(corrupt_prob=1.0), processor_ids=range(4))
+    for dst in (0, 1, 3):
+        assert plan.should_corrupt(2, dst, 0.0, rng)
+    assert (2, 2) not in plan.links
+    assert not plan.should_corrupt(0, 1, 0.0, rng)
+
+
+def test_crash_schedule_recorded_and_chainable(rng):
+    plan = FaultPlan().schedule_crash(1, 2.0).schedule_crash(3, 4.0)
+    assert plan.crash_times == {1: 2.0, 3: 4.0}
+
+
+def test_extra_delay_outside_window_is_zero(rng):
+    plan = FaultPlan(
+        default=LinkFaults(extra_delay=0.1), active_from=1.0, active_until=2.0
+    )
+    assert plan.extra_delay(0, 1, 0.0, rng) == 0.0
+    assert plan.extra_delay(0, 1, 1.5, rng) == 0.1

@@ -1,0 +1,104 @@
+"""Unit tests for GIOP framing."""
+
+import pytest
+
+from repro.orb.giop import (
+    GiopError,
+    ReplyMessage,
+    RequestMessage,
+    REPLY_NO_EXCEPTION,
+    REPLY_SYSTEM_EXCEPTION,
+    decode_message,
+)
+from repro.orb.transport import split_frames
+
+
+def test_request_roundtrip():
+    request = RequestMessage(17, b"server/key", "get_quote", b"\x01\x02\x03")
+    decoded = decode_message(request.encode())
+    assert isinstance(decoded, RequestMessage)
+    assert decoded.request_id == 17
+    assert decoded.object_key == b"server/key"
+    assert decoded.operation == "get_quote"
+    assert decoded.body == b"\x01\x02\x03"
+    assert decoded.response_expected
+
+
+def test_oneway_request_roundtrip():
+    request = RequestMessage(3, b"k", "ping", b"", response_expected=False)
+    decoded = decode_message(request.encode())
+    assert not decoded.response_expected
+    assert decoded.body == b""
+
+
+def test_reply_roundtrip():
+    reply = ReplyMessage(17, REPLY_NO_EXCEPTION, b"result")
+    decoded = decode_message(reply.encode())
+    assert isinstance(decoded, ReplyMessage)
+    assert decoded.request_id == 17
+    assert decoded.reply_status == REPLY_NO_EXCEPTION
+    assert decoded.body == b"result"
+
+
+def test_exception_reply_roundtrip():
+    decoded = decode_message(ReplyMessage(5, REPLY_SYSTEM_EXCEPTION, b"").encode())
+    assert decoded.reply_status == REPLY_SYSTEM_EXCEPTION
+
+
+def test_frame_starts_with_magic():
+    frame = RequestMessage(1, b"k", "op", b"").encode()
+    assert frame[:4] == b"GIOP"
+
+
+def test_bad_magic_rejected():
+    frame = bytearray(RequestMessage(1, b"k", "op", b"").encode())
+    frame[0] = ord("X")
+    with pytest.raises(GiopError):
+        decode_message(bytes(frame))
+
+
+def test_bad_version_rejected():
+    frame = bytearray(RequestMessage(1, b"k", "op", b"").encode())
+    frame[4] = 9
+    with pytest.raises(GiopError):
+        decode_message(bytes(frame))
+
+
+def test_size_mismatch_rejected():
+    frame = RequestMessage(1, b"k", "op", b"").encode()
+    with pytest.raises(GiopError):
+        decode_message(frame + b"extra")
+    with pytest.raises(GiopError):
+        decode_message(frame[:-1])
+
+
+def test_short_frame_rejected():
+    with pytest.raises(GiopError):
+        decode_message(b"GIOP")
+
+
+def test_unknown_message_type_rejected():
+    frame = bytearray(RequestMessage(1, b"k", "op", b"").encode())
+    frame[7] = 99
+    with pytest.raises(GiopError):
+        decode_message(bytes(frame))
+
+
+def test_split_frames_recovers_batches():
+    frames = [
+        RequestMessage(i, b"k", "op%d" % i, b"x" * i, response_expected=False).encode()
+        for i in range(4)
+    ]
+    assert split_frames(b"".join(frames)) == frames
+
+
+def test_split_frames_rejects_truncated_tail():
+    frame = RequestMessage(1, b"k", "op", b"body").encode()
+    with pytest.raises(GiopError):
+        split_frames(frame + frame[:6])
+    with pytest.raises(GiopError):
+        split_frames(frame[: len(frame) - 2])
+
+
+def test_split_frames_empty_input():
+    assert split_frames(b"") == []

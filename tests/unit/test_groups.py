@@ -1,0 +1,111 @@
+"""Unit tests for the object group table."""
+
+import pytest
+
+from repro.core.groups import (
+    GroupError,
+    GroupUpdate,
+    ObjectGroupTable,
+    UPDATE_ADD,
+    UPDATE_REMOVE,
+    majority_of,
+    required_correct_replicas,
+)
+
+
+def test_majority_thresholds():
+    # ceil((r+1)/2): 1->1, 2->2, 3->2, 4->3, 5->3, 6->4, 7->4
+    assert [majority_of(r) for r in range(1, 8)] == [1, 2, 2, 3, 3, 4, 4]
+
+
+def test_required_correct_replicas_matches_paper():
+    assert required_correct_replicas(3) == 2
+    assert required_correct_replicas(5) == 3
+
+
+def test_create_and_query():
+    table = ObjectGroupTable()
+    table.create("g", [2, 0, 4])
+    assert table.members("g") == (0, 2, 4)
+    assert table.degree("g") == 3
+    assert table.majority("g") == 2
+    assert table.groups() == ["g"]
+
+
+def test_duplicate_create_rejected():
+    table = ObjectGroupTable()
+    table.create("g", [0])
+    with pytest.raises(GroupError):
+        table.create("g", [1])
+
+
+def test_one_replica_per_processor_enforced():
+    table = ObjectGroupTable()
+    with pytest.raises(GroupError):
+        table.create("g", [0, 0, 1])
+
+
+def test_unknown_group_is_empty():
+    table = ObjectGroupTable()
+    assert table.members("nope") == ()
+    assert table.degree("nope") == 0
+
+
+def test_add_remove_replica():
+    table = ObjectGroupTable()
+    table.create("g", [0, 1])
+    table.add_replica("g", 3)
+    assert table.members("g") == (0, 1, 3)
+    table.add_replica("g", 3)  # idempotent
+    assert table.members("g") == (0, 1, 3)
+    table.remove_replica("g", 1)
+    assert table.members("g") == (0, 3)
+    table.remove_replica("g", 99)  # no-op
+    assert table.members("g") == (0, 3)
+
+
+def test_remove_processor_hits_all_groups():
+    table = ObjectGroupTable()
+    table.create("a", [0, 1, 2])
+    table.create("b", [1, 3])
+    table.create("c", [0, 2])
+    affected = table.remove_processor(1)
+    assert affected == ["a", "b"]
+    assert table.members("a") == (0, 2)
+    assert table.members("b") == (3,)
+    assert table.members("c") == (0, 2)
+
+
+def test_change_listener_fires():
+    table = ObjectGroupTable()
+    events = []
+    table.on_change(lambda name, members: events.append((name, members)))
+    table.create("g", [0, 1])
+    table.remove_replica("g", 0)
+    assert events == [("g", (0, 1)), ("g", (1,))]
+
+
+def test_group_update_roundtrip_and_apply():
+    table = ObjectGroupTable()
+    table.create("g", [0])
+    add = GroupUpdate.decode(GroupUpdate(UPDATE_ADD, "g", 5).encode())
+    table.apply(add)
+    assert table.members("g") == (0, 5)
+    remove = GroupUpdate.decode(GroupUpdate(UPDATE_REMOVE, "g", 0).encode())
+    table.apply(remove)
+    assert table.members("g") == (5,)
+
+
+def test_apply_unknown_action_rejected():
+    table = ObjectGroupTable()
+    with pytest.raises(GroupError):
+        table.apply(GroupUpdate(99, "g", 0))
+
+
+def test_groups_hosted_by():
+    table = ObjectGroupTable()
+    table.create("a", [0, 1])
+    table.create("b", [1, 2])
+    assert table.groups_hosted_by(1) == ["a", "b"]
+    assert table.groups_hosted_by(0) == ["a"]
+    assert table.groups_hosted_by(9) == []

@@ -1,0 +1,91 @@
+"""Unit tests for ORB invocation deadlines."""
+
+import pytest
+
+from repro.orb.core import BatchingPolicy, Orb
+from repro.orb.giop import InvocationTimeout
+from repro.orb.idl import InterfaceDef, OperationDef, ParamDef
+from repro.orb.transport import DirectTransport
+from repro.sim.faults import FaultPlan, LinkFaults
+from repro.sim.network import Network, NetworkParams
+from repro.sim.process import Processor
+from repro.sim.rng import RngStreams
+from repro.sim.scheduler import Scheduler
+
+ECHO_IDL = InterfaceDef(
+    "Echo", [OperationDef("echo", [ParamDef("t", "string")], result="string")]
+)
+
+
+class EchoServant:
+    def echo(self, t):
+        return t
+
+
+def make_world(fault_plan=None):
+    sched = Scheduler()
+    net = Network(
+        sched,
+        params=NetworkParams(jitter=0.0),
+        rng=RngStreams(1).stream("n"),
+        fault_plan=fault_plan,
+    )
+    orbs = []
+    for pid in range(2):
+        proc = Processor(pid, sched)
+        net.add_processor(proc)
+        orb = Orb(proc, sched, batching=BatchingPolicy.disabled())
+        orb.set_transport(DirectTransport(net))
+        orbs.append(orb)
+    ref = orbs[1].register_servant("echo", EchoServant(), ECHO_IDL)
+    stub = orbs[0].stub(ECHO_IDL, ref)
+    return sched, orbs, stub
+
+
+def test_reply_in_time_no_timeout():
+    sched, orbs, stub = make_world()
+    results, errors = [], []
+    stub.echo("hi", reply_to=results.append, on_exception=errors.append, timeout=1.0)
+    sched.run()
+    assert results == ["hi"]
+    assert errors == []
+
+
+def test_lost_reply_triggers_timeout():
+    plan = FaultPlan(default=LinkFaults(loss_prob=1.0))
+    sched, orbs, stub = make_world(fault_plan=plan)
+    results, errors = [], []
+    stub.echo("hi", reply_to=results.append, on_exception=errors.append, timeout=0.5)
+    sched.run(until=2.0)
+    assert results == []
+    (error,) = errors
+    assert isinstance(error, InvocationTimeout)
+    assert orbs[0].stats["requests_timed_out"] == 1
+
+
+def test_late_reply_after_timeout_is_discarded():
+    plan = FaultPlan(default=LinkFaults(extra_delay=1.0))
+    sched, orbs, stub = make_world(fault_plan=plan)
+    results, errors = [], []
+    stub.echo("slow", reply_to=results.append, on_exception=errors.append, timeout=0.5)
+    sched.run(until=5.0)
+    assert results == []  # the late reply must not fire the handler
+    assert len(errors) == 1
+    assert isinstance(errors[0], InvocationTimeout)
+
+
+def test_timeout_without_handler_raises():
+    plan = FaultPlan(default=LinkFaults(loss_prob=1.0))
+    sched, orbs, stub = make_world(fault_plan=plan)
+    stub.echo("hi", reply_to=lambda _r: None, timeout=0.5)
+    with pytest.raises(InvocationTimeout):
+        sched.run(until=2.0)
+
+
+def test_no_timeout_waits_indefinitely():
+    plan = FaultPlan(default=LinkFaults(loss_prob=1.0))
+    sched, orbs, stub = make_world(fault_plan=plan)
+    results, errors = [], []
+    stub.echo("hi", reply_to=results.append, on_exception=errors.append)
+    sched.run(until=30.0)
+    assert results == [] and errors == []  # silently pending, as in CORBA

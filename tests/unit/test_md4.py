@@ -1,0 +1,53 @@
+"""MD4 against the RFC 1320 appendix test vectors."""
+
+import pytest
+
+from repro.crypto.md4 import md4_digest, md4_hexdigest
+
+RFC1320_VECTORS = [
+    (b"", "31d6cfe0d16ae931b73c59d7e0c089c0"),
+    (b"a", "bde52cb31de33e46245e05fbdbd6fb24"),
+    (b"abc", "a448017aaf21d8525fc10ae87aa6729d"),
+    (b"message digest", "d9130a8164549fe818874806e1c7014b"),
+    (b"abcdefghijklmnopqrstuvwxyz", "d79e1c308aa5bbcdeea8ed63df412da9"),
+    (
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+        "043f8582f241db351ce627e153e7f0e4",
+    ),
+    (
+        b"1234567890123456789012345678901234567890"
+        b"1234567890123456789012345678901234567890",
+        "e33b4ddc9c38f2199c3e7b164fcc0536",
+    ),
+]
+
+
+@pytest.mark.parametrize("message,expected", RFC1320_VECTORS)
+def test_rfc1320_vectors(message, expected):
+    assert md4_hexdigest(message) == expected
+
+
+def test_digest_is_16_bytes():
+    assert len(md4_digest(b"whatever")) == 16
+
+
+def test_digest_rejects_str():
+    with pytest.raises(TypeError):
+        md4_digest("not bytes")
+
+
+def test_block_boundary_lengths():
+    # Lengths straddling the 64-byte block and 56-byte padding boundary
+    # exercise every padding branch.
+    digests = {md4_digest(b"x" * n) for n in (55, 56, 57, 63, 64, 65, 127, 128)}
+    assert len(digests) == 8
+
+
+def test_bytearray_accepted():
+    assert md4_digest(bytearray(b"abc")) == md4_digest(b"abc")
+
+
+def test_single_bit_change_changes_digest():
+    base = md4_digest(b"\x00" * 64)
+    flipped = md4_digest(b"\x01" + b"\x00" * 63)
+    assert base != flipped

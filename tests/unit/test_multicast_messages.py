@@ -1,0 +1,97 @@
+"""Unit tests for multicast frame codecs."""
+
+import pytest
+
+from repro.multicast.messages import (
+    MembershipCommit,
+    MembershipProposal,
+    MulticastCodecError,
+    RegularMessage,
+    decode_frame,
+)
+
+
+def test_regular_message_roundtrip():
+    msg = RegularMessage(3, 7, 1234, "server-group", b"\x01\x02payload")
+    decoded = decode_frame(msg.encode())
+    assert isinstance(decoded, RegularMessage)
+    assert decoded.sender_id == 3
+    assert decoded.ring_id == 7
+    assert decoded.seq == 1234
+    assert decoded.dest_group == "server-group"
+    assert decoded.payload == b"\x01\x02payload"
+
+
+def test_regular_message_empty_payload():
+    decoded = decode_frame(RegularMessage(0, 1, 1, "g", b"").encode())
+    assert decoded.payload == b""
+
+
+def test_proposal_roundtrip():
+    proposal = MembershipProposal(
+        proposer=2,
+        old_ring_id=5,
+        round_number=3,
+        candidate_set=[0, 2, 4],
+        have_contiguous=99,
+        suspects=[1, 3],
+        signature=123456789,
+    )
+    decoded = decode_frame(proposal.encode())
+    assert isinstance(decoded, MembershipProposal)
+    assert decoded.proposer == 2
+    assert decoded.old_ring_id == 5
+    assert decoded.round_number == 3
+    assert decoded.candidate_set == (0, 2, 4)
+    assert decoded.have_contiguous == 99
+    assert decoded.suspects == (1, 3)
+    assert decoded.signature == 123456789
+
+
+def test_proposal_sets_are_canonicalised():
+    proposal = MembershipProposal(1, 1, 1, [4, 0, 2], 0, [3, 1])
+    assert proposal.candidate_set == (0, 2, 4)
+    assert proposal.suspects == (1, 3)
+
+
+def test_proposal_signable_excludes_signature():
+    a = MembershipProposal(1, 1, 1, [0, 1], 5, [], signature=111)
+    b = MembershipProposal(1, 1, 1, [0, 1], 5, [], signature=222)
+    assert a.signable_bytes() == b.signable_bytes()
+    assert a.encode() != b.encode()
+
+
+def test_commit_roundtrip_and_unbundle():
+    proposals = [
+        MembershipProposal(p, 5, 2, [0, 1, 2], 10 + p, [3]).encode() for p in range(3)
+    ]
+    commit = MembershipCommit(0, 5, 2, proposals)
+    decoded = decode_frame(commit.encode())
+    assert isinstance(decoded, MembershipCommit)
+    assert decoded.sender_id == 0
+    assert decoded.old_ring_id == 5
+    assert decoded.round_number == 2
+    inner = decoded.proposals()
+    assert [p.proposer for p, _ in inner] == [0, 1, 2]
+    assert [raw for _, raw in inner] == proposals
+
+
+def test_commit_rejects_non_proposal_content():
+    bogus = MembershipCommit(0, 1, 1, [RegularMessage(0, 1, 1, "g", b"x").encode()])
+    decoded = decode_frame(bogus.encode())
+    with pytest.raises(MulticastCodecError):
+        decoded.proposals()
+
+
+def test_garbage_frame_rejected():
+    with pytest.raises(MulticastCodecError):
+        decode_frame(b"\xff\x00\x01")
+    with pytest.raises(MulticastCodecError):
+        decode_frame(b"\x01trunc")
+
+
+def test_corrupted_frame_usually_fails_or_differs():
+    raw = bytearray(RegularMessage(1, 1, 7, "group", b"hello").encode())
+    raw[-1] ^= 0xFF  # flip a payload byte
+    decoded = decode_frame(bytes(raw))
+    assert decoded.payload != b"hello"

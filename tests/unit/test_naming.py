@@ -1,0 +1,94 @@
+"""Unit tests for the naming service servant and reference codec."""
+
+import pytest
+
+from repro.orb.ior import ObjectReference
+from repro.workloads.naming import (
+    AlreadyBound,
+    InvalidName,
+    NamingServant,
+    NotFound,
+    NAMING_IDL,
+    destringify_reference,
+    stringify_reference,
+)
+
+
+@pytest.fixture
+def ns():
+    return NamingServant()
+
+
+def test_bind_and_resolve(ns):
+    ns.bind("services/bank", "Bank|bank")
+    assert ns.resolve("services/bank") == "Bank|bank"
+
+
+def test_duplicate_bind_raises(ns):
+    ns.bind("a", "X|x")
+    with pytest.raises(AlreadyBound):
+        ns.bind("a", "Y|y")
+    assert ns.resolve("a") == "X|x"
+
+
+def test_rebind_replaces(ns):
+    ns.bind("a", "X|x")
+    ns.rebind("a", "Y|y")
+    assert ns.resolve("a") == "Y|y"
+
+
+def test_resolve_unknown_raises(ns):
+    with pytest.raises(NotFound):
+        ns.resolve("missing")
+
+
+def test_unbind(ns):
+    ns.bind("a", "X|x")
+    ns.unbind("a")
+    with pytest.raises(NotFound):
+        ns.resolve("a")
+    with pytest.raises(NotFound):
+        ns.unbind("a")
+
+
+@pytest.mark.parametrize("bad", ["", "/leading", "trailing/", "a//b"])
+def test_invalid_names_rejected(ns, bad):
+    with pytest.raises(InvalidName):
+        ns.bind(bad, "X|x")
+    with pytest.raises(InvalidName):
+        ns.resolve(bad)
+
+
+def test_list_names_by_prefix(ns):
+    ns.bind("services/bank", "B|b")
+    ns.bind("services/fusion", "F|f")
+    ns.bind("admin/console", "C|c")
+    assert ns.list_names("services/") == ["services/bank", "services/fusion"]
+    assert ns.list_names("") == [
+        "admin/console",
+        "services/bank",
+        "services/fusion",
+    ]
+
+
+def test_state_roundtrip(ns):
+    ns.bind("a/b", "X|x")
+    ns.bind("c", "Y|y")
+    clone = NamingServant.from_state(ns.get_state())
+    assert clone.resolve("a/b") == "X|x"
+    assert clone.list_names("") == ns.list_names("")
+
+
+def test_reference_stringification_roundtrip():
+    reference = ObjectReference("Bank", "bank-group")
+    text = stringify_reference(reference)
+    back = destringify_reference(text)
+    assert back.type_id == "Bank"
+    assert back.group_name == "bank-group"
+
+
+def test_idl_exceptions_declared():
+    resolve = NAMING_IDL.operation("resolve")
+    assert resolve.exception_for(NotFound.repository_id) is NotFound
+    bind = NAMING_IDL.operation("bind")
+    assert bind.exception_for(AlreadyBound.repository_id) is AlreadyBound

@@ -1,0 +1,64 @@
+"""Unit tests for the object adapter."""
+
+import pytest
+
+from repro.orb.idl import IdlError, InterfaceDef, OperationDef
+from repro.orb.poa import ObjectAdapter
+
+PING_IDL = InterfaceDef("Ping", [OperationDef("ping", [], result="long")])
+
+
+class PingServant:
+    def ping(self):
+        return 1
+
+
+def test_activate_and_lookup():
+    adapter = ObjectAdapter()
+    key = adapter.activate("obj/1", PingServant(), PING_IDL)
+    assert key == b"obj/1"
+    skeleton = adapter.skeleton(b"obj/1")
+    assert skeleton is not None
+    assert skeleton.interface is PING_IDL
+
+
+def test_string_and_bytes_keys_are_equivalent():
+    adapter = ObjectAdapter()
+    adapter.activate("obj/1", PingServant(), PING_IDL)
+    assert adapter.skeleton(b"obj/1") is not None
+
+
+def test_duplicate_activation_rejected():
+    adapter = ObjectAdapter()
+    adapter.activate("obj/1", PingServant(), PING_IDL)
+    with pytest.raises(IdlError):
+        adapter.activate(b"obj/1", PingServant(), PING_IDL)
+
+
+def test_deactivate_removes_servant():
+    adapter = ObjectAdapter()
+    adapter.activate("obj/1", PingServant(), PING_IDL)
+    adapter.deactivate("obj/1")
+    assert adapter.skeleton(b"obj/1") is None
+    adapter.deactivate("obj/1")  # idempotent
+
+
+def test_unknown_key_returns_none():
+    adapter = ObjectAdapter()
+    assert adapter.skeleton(b"nope") is None
+
+
+def test_active_keys_sorted():
+    adapter = ObjectAdapter()
+    adapter.activate("b", PingServant(), PING_IDL)
+    adapter.activate("a", PingServant(), PING_IDL)
+    assert adapter.active_keys() == [b"a", b"b"]
+    assert len(adapter) == 2
+
+
+def test_reactivation_after_deactivate():
+    adapter = ObjectAdapter()
+    adapter.activate("obj/1", PingServant(), PING_IDL)
+    adapter.deactivate("obj/1")
+    adapter.activate("obj/1", PingServant(), PING_IDL)
+    assert adapter.skeleton(b"obj/1") is not None

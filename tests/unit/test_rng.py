@@ -1,0 +1,37 @@
+"""Unit tests for deterministic RNG substreams."""
+
+from repro.sim.rng import RngStreams
+
+
+def test_same_seed_same_stream_is_reproducible():
+    a = RngStreams(42).stream("net.loss")
+    b = RngStreams(42).stream("net.loss")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_names_give_independent_streams():
+    streams = RngStreams(42)
+    a = streams.stream("alpha")
+    b = streams.stream("beta")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("x")
+    b = RngStreams(2).stream("x")
+    assert a.random() != b.random()
+
+
+def test_stream_is_cached():
+    streams = RngStreams(0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_spawn_creates_namespaced_children():
+    parent = RngStreams(42)
+    child_a = parent.spawn("p0")
+    child_b = parent.spawn("p1")
+    assert child_a.stream("x").random() != child_b.stream("x").random()
+    # Child streams are themselves reproducible.
+    again = RngStreams(42).spawn("p0")
+    assert RngStreams(42).spawn("p0").stream("x").random() == again.stream("x").random()

@@ -1,0 +1,171 @@
+"""Unit and end-to-end tests for IDL user exceptions."""
+
+import pytest
+
+from repro.orb.core import BatchingPolicy, Orb
+from repro.orb.giop import GiopError
+from repro.orb.idl import (
+    IdlError,
+    InterfaceDef,
+    OperationDef,
+    ParamDef,
+    UserException,
+    peek_exception_id,
+)
+from repro.orb.transport import DirectTransport
+from repro.sim.network import Network, NetworkParams
+from repro.sim.process import Processor
+from repro.sim.rng import RngStreams
+from repro.sim.scheduler import Scheduler
+
+
+class InsufficientFunds(UserException):
+    repository_id = "IDL:repro/InsufficientFunds:1.0"
+    members = (("requested", "long"), ("available", "long"))
+
+
+class AccountFrozen(UserException):
+    repository_id = "IDL:repro/AccountFrozen:1.0"
+    members = (("reason", "string"),)
+
+
+class Undeclared(UserException):
+    repository_id = "IDL:repro/Undeclared:1.0"
+
+
+ATM_IDL = InterfaceDef(
+    "Atm",
+    [
+        OperationDef(
+            "withdraw",
+            [ParamDef("amount", "long")],
+            result="long",
+            raises=(InsufficientFunds, AccountFrozen),
+        ),
+    ],
+)
+
+
+class AtmServant:
+    def __init__(self, balance=100, frozen=False, misbehave=False):
+        self.balance = balance
+        self.frozen = frozen
+        self.misbehave = misbehave
+
+    def withdraw(self, amount):
+        if self.misbehave:
+            raise Undeclared()
+        if self.frozen:
+            raise AccountFrozen(reason="court order")
+        if amount > self.balance:
+            raise InsufficientFunds(requested=amount, available=self.balance)
+        self.balance -= amount
+        return self.balance
+
+
+# ----------------------------------------------------------------------
+# pure codec behaviour
+# ----------------------------------------------------------------------
+
+def test_exception_marshal_roundtrip():
+    exc = InsufficientFunds(requested=50, available=10)
+    clone = InsufficientFunds.unmarshal(exc.marshal())
+    assert clone == exc
+    assert clone.values == {"requested": 50, "available": 10}
+
+
+def test_peek_exception_id():
+    body = AccountFrozen(reason="x").marshal()
+    assert peek_exception_id(body) == AccountFrozen.repository_id
+
+
+def test_wrong_exception_class_rejected():
+    body = AccountFrozen(reason="x").marshal()
+    with pytest.raises(IdlError):
+        InsufficientFunds.unmarshal(body)
+
+
+def test_missing_member_rejected():
+    with pytest.raises(IdlError):
+        InsufficientFunds(requested=5)
+
+
+def test_unknown_member_rejected():
+    with pytest.raises(IdlError):
+        AccountFrozen(reason="x", extra=1)
+
+
+def test_oneway_cannot_declare_raises():
+    with pytest.raises(IdlError):
+        OperationDef("fire", oneway=True, raises=(AccountFrozen,))
+
+
+def test_operation_resolves_declared_exceptions():
+    op = ATM_IDL.operation("withdraw")
+    assert op.exception_for(InsufficientFunds.repository_id) is InsufficientFunds
+    assert op.exception_for("IDL:nonsense:1.0") is None
+
+
+# ----------------------------------------------------------------------
+# end to end over the direct transport
+# ----------------------------------------------------------------------
+
+def atm_world(servant):
+    sched = Scheduler()
+    net = Network(sched, params=NetworkParams(jitter=0.0), rng=RngStreams(1).stream("n"))
+    orbs = []
+    for pid in range(2):
+        proc = Processor(pid, sched)
+        net.add_processor(proc)
+        orb = Orb(proc, sched, batching=BatchingPolicy.disabled())
+        orb.set_transport(DirectTransport(net))
+        orbs.append(orb)
+    ref = orbs[1].register_servant("atm", servant, ATM_IDL)
+    stub = orbs[0].stub(ATM_IDL, ref)
+    return sched, stub
+
+
+def test_declared_exception_reaches_client():
+    sched, stub = atm_world(AtmServant(balance=10))
+    outcomes = []
+    stub.withdraw(50, reply_to=outcomes.append, on_exception=outcomes.append)
+    sched.run()
+    (outcome,) = outcomes
+    assert isinstance(outcome, InsufficientFunds)
+    assert outcome.values == {"requested": 50, "available": 10}
+
+
+def test_alternative_declared_exception():
+    sched, stub = atm_world(AtmServant(frozen=True))
+    outcomes = []
+    stub.withdraw(1, reply_to=outcomes.append, on_exception=outcomes.append)
+    sched.run()
+    (outcome,) = outcomes
+    assert isinstance(outcome, AccountFrozen)
+    assert outcome.values == {"reason": "court order"}
+
+
+def test_successful_call_bypasses_exception_path():
+    sched, stub = atm_world(AtmServant(balance=100))
+    results = []
+    errors = []
+    stub.withdraw(30, reply_to=results.append, on_exception=errors.append)
+    sched.run()
+    assert results == [70]
+    assert errors == []
+
+
+def test_undeclared_exception_becomes_system_exception():
+    sched, stub = atm_world(AtmServant(misbehave=True))
+    outcomes = []
+    stub.withdraw(1, reply_to=outcomes.append, on_exception=outcomes.append)
+    sched.run()
+    (outcome,) = outcomes
+    assert isinstance(outcome, GiopError)
+
+
+def test_exception_without_handler_raises():
+    sched, stub = atm_world(AtmServant(balance=0))
+    stub.withdraw(5, reply_to=lambda _: None)
+    with pytest.raises(InsufficientFunds):
+        sched.run()

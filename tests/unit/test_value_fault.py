@@ -1,0 +1,72 @@
+"""Unit tests for the value fault detector (paper section 6.2)."""
+
+from repro.core.groups import ObjectGroupTable
+from repro.core.value_fault import ValueFaultDetector, ValueFaultVote
+
+
+def make_detector(degree=3):
+    table = ObjectGroupTable()
+    table.create("client", list(range(degree)))
+    suspected = []
+    detector = ValueFaultDetector(table, suspected.append)
+    return detector, suspected
+
+
+def test_minority_sender_is_suspected():
+    detector, suspected = make_detector(3)
+    vote = ValueFaultVote(0, "client", 7, "server", [(0, b"g"), (1, b"g"), (2, b"BAD")])
+    corrupt = detector.on_vote(vote)
+    assert corrupt == {2}
+    assert suspected == [2]
+
+
+def test_duplicate_votes_processed_once():
+    detector, suspected = make_detector(3)
+    vote = ValueFaultVote(0, "client", 7, "server", [(0, b"g"), (1, b"g"), (2, b"BAD")])
+    detector.on_vote(vote)
+    detector.on_vote(ValueFaultVote(1, "client", 7, "server", vote.entries))
+    assert suspected == [2]
+    assert detector.stats["duplicates"] == 1
+
+
+def test_no_majority_no_adjudication():
+    detector, suspected = make_detector(3)
+    vote = ValueFaultVote(0, "client", 7, "server", [(0, b"a"), (1, b"b")])
+    assert detector.on_vote(vote) == set()
+    assert suspected == []
+
+
+def test_multiple_corrupt_senders():
+    detector, suspected = make_detector(5)
+    vote = ValueFaultVote(
+        0,
+        "client",
+        1,
+        "server",
+        [(0, b"g"), (1, b"g"), (2, b"g"), (3, b"X"), (4, b"Y")],
+    )
+    assert detector.on_vote(vote) == {3, 4}
+    assert sorted(suspected) == [3, 4]
+
+
+def test_distinct_operations_adjudicated_separately():
+    detector, suspected = make_detector(3)
+    detector.on_vote(
+        ValueFaultVote(0, "client", 1, "server", [(0, b"g"), (1, b"g"), (2, b"X")])
+    )
+    detector.on_vote(
+        ValueFaultVote(0, "client", 2, "server", [(0, b"g"), (1, b"Y"), (2, b"g")])
+    )
+    assert sorted(suspected) == [1, 2]
+
+
+def test_same_decision_at_every_detector():
+    # The property the paper requires: identical vote sets lead every
+    # Replication Manager to the same conclusion.
+    entries = [(0, b"g"), (1, b"BAD"), (2, b"g")]
+    results = []
+    for _ in range(3):
+        detector, suspected = make_detector(3)
+        detector.on_vote(ValueFaultVote(0, "client", 3, "server", entries))
+        results.append(tuple(suspected))
+    assert results[0] == results[1] == results[2] == (1,)

@@ -1,0 +1,119 @@
+"""Unit tests for majority voting (paper section 6.1)."""
+
+from repro.core.groups import ObjectGroupTable
+from repro.core.voting import LateFault, VoteDecision, Voter
+from repro.crypto.md4 import md4_digest
+
+
+def make_voter(degree=3):
+    table = ObjectGroupTable()
+    table.create("client", list(range(degree)))
+    return Voter("server", table, md4_digest), table
+
+
+OP = ("inv", "client", "server", 0)
+
+
+def test_no_decision_below_majority():
+    voter, _ = make_voter(3)
+    assert voter.add_copy("client", OP, 0, b"value") is None
+    assert voter.pending_count() == 1
+
+
+def test_decision_at_majority_of_three():
+    voter, _ = make_voter(3)
+    voter.add_copy("client", OP, 0, b"value")
+    decision = voter.add_copy("client", OP, 1, b"value")
+    assert isinstance(decision, VoteDecision)
+    assert decision.body == b"value"
+    assert decision.faulty_senders == set()
+    assert voter.pending_count() == 0
+
+
+def test_same_sender_does_not_double_count():
+    voter, _ = make_voter(3)
+    assert voter.add_copy("client", OP, 0, b"value") is None
+    assert voter.add_copy("client", OP, 0, b"value") is None  # same replica again
+
+
+def test_majority_wins_over_corrupt_minority():
+    voter, _ = make_voter(3)
+    voter.add_copy("client", OP, 2, b"CORRUPT")
+    voter.add_copy("client", OP, 0, b"value")
+    decision = voter.add_copy("client", OP, 1, b"value")
+    assert isinstance(decision, VoteDecision)
+    assert decision.body == b"value"
+    assert decision.faulty_senders == {2}
+    assert set(decision.vote_set) == {
+        (0, md4_digest(b"value")),
+        (1, md4_digest(b"value")),
+        (2, md4_digest(b"CORRUPT")),
+    }
+
+
+def test_late_identical_copy_is_duplicate():
+    voter, _ = make_voter(3)
+    voter.add_copy("client", OP, 0, b"value")
+    voter.add_copy("client", OP, 1, b"value")
+    assert voter.add_copy("client", OP, 2, b"value") is None
+    assert voter.stats["late_duplicates"] == 1
+
+
+def test_late_divergent_copy_is_fault():
+    voter, _ = make_voter(3)
+    voter.add_copy("client", OP, 0, b"value")
+    voter.add_copy("client", OP, 1, b"value")
+    outcome = voter.add_copy("client", OP, 2, b"CORRUPT")
+    assert isinstance(outcome, LateFault)
+    assert outcome.sender == 2
+    assert (2, md4_digest(b"CORRUPT")) in outcome.vote_set
+
+
+def test_copy_from_non_member_ignored():
+    voter, _ = make_voter(3)
+    assert voter.add_copy("client", OP, 99, b"value") is None
+    assert voter.stats["copies"] == 0
+
+
+def test_degree_five_needs_three():
+    voter, _ = make_voter(5)
+    voter.add_copy("client", OP, 0, b"v")
+    assert voter.add_copy("client", OP, 1, b"v") is None
+    decision = voter.add_copy("client", OP, 2, b"v")
+    assert isinstance(decision, VoteDecision)
+
+
+def test_voting_is_deterministic_across_voters():
+    # Two voters fed the same copies in the same order decide identically.
+    voter_a, _ = make_voter(3)
+    voter_b, _ = make_voter(3)
+    copies = [(2, b"BAD"), (0, b"good"), (1, b"good")]
+    outcomes_a = [voter_a.add_copy("client", OP, s, v) for s, v in copies]
+    outcomes_b = [voter_b.add_copy("client", OP, s, v) for s, v in copies]
+    decision_a = [o for o in outcomes_a if isinstance(o, VoteDecision)][0]
+    decision_b = [o for o in outcomes_b if isinstance(o, VoteDecision)][0]
+    assert decision_a.body == decision_b.body
+    assert decision_a.faulty_senders == decision_b.faulty_senders
+    assert decision_a.vote_set == decision_b.vote_set
+
+
+def test_reconsider_after_degree_shrinks():
+    voter, table = make_voter(4)  # majority of 4 is 3
+    voter.add_copy("client", OP, 0, b"v")
+    assert voter.add_copy("client", OP, 1, b"v") is None
+    # Replica 3's processor is excluded: degree drops to 3, majority to 2.
+    table.remove_processor(3)
+    decisions = voter.reconsider()
+    assert len(decisions) == 1
+    assert decisions[0].body == b"v"
+
+
+def test_independent_operations_do_not_interfere():
+    voter, _ = make_voter(3)
+    op2 = ("inv", "client", "server", 1)
+    voter.add_copy("client", OP, 0, b"a")
+    voter.add_copy("client", op2, 0, b"b")
+    d1 = voter.add_copy("client", OP, 1, b"a")
+    d2 = voter.add_copy("client", op2, 1, b"b")
+    assert d1.body == b"a"
+    assert d2.body == b"b"

@@ -1,0 +1,139 @@
+"""Unit tests for the application workloads (pure servant logic)."""
+
+import pytest
+
+from repro.orb.giop import decode_message
+from repro.orb.idl import InterfaceDef  # noqa: F401  (re-exported reference)
+from repro.workloads.bank import BANK_IDL, BankServant
+from repro.workloads.packet_driver import (
+    PACKET_IDL,
+    TARGET_IIOP_BYTES,
+    payload_size_for_frame,
+)
+from repro.workloads.sensors import FUSION_IDL, FusionServant, scripted_track
+
+
+# ----------------------------------------------------------------------
+# bank
+# ----------------------------------------------------------------------
+
+def test_bank_open_and_balance():
+    bank = BankServant()
+    alice = bank.open_account("alice", 100)
+    bob = bank.open_account("bob", 50)
+    assert alice != bob
+    assert bank.balance(alice) == 100
+    assert bank.balance(bob) == 50
+    assert bank.total_assets() == 150
+
+
+def test_bank_deposit_withdraw():
+    bank = BankServant()
+    acct = bank.open_account("x", 10)
+    assert bank.deposit(acct, 5) == 15
+    assert bank.withdraw(acct, 12) == 3
+    assert bank.withdraw(acct, 4) == -1  # overdraft refused
+    assert bank.balance(acct) == 3
+
+
+def test_bank_rejects_bad_operations():
+    bank = BankServant()
+    acct = bank.open_account("x", 10)
+    assert bank.deposit(999, 5) == -1
+    assert bank.deposit(acct, -5) == -1
+    assert bank.withdraw(999, 5) == -1
+    assert bank.withdraw(acct, -5) == -1
+    assert bank.balance(999) == -1
+    assert bank.total_assets() == 10
+
+
+def test_bank_transfer_conserves_total():
+    bank = BankServant()
+    a = bank.open_account("a", 100)
+    b = bank.open_account("b", 0)
+    assert bank.transfer(a, b, 60) is True
+    assert bank.balance(a) == 40
+    assert bank.balance(b) == 60
+    assert bank.transfer(a, b, 100) is False  # insufficient funds
+    assert bank.transfer(a, 999, 1) is False
+    assert bank.transfer(a, b, -1) is False
+    assert bank.total_assets() == 100
+
+
+def test_bank_state_roundtrip():
+    bank = BankServant()
+    a = bank.open_account("a", 100)
+    bank.open_account("b", 50)
+    bank.withdraw(a, 30)
+    clone = BankServant.from_state(bank.get_state())
+    assert clone.total_assets() == bank.total_assets()
+    assert clone.balance(a) == 70
+    # Account numbering continues where the original left off.
+    assert clone.open_account("c", 1) == bank.open_account("c", 1)
+
+
+def test_bank_idl_covers_all_operations():
+    servant = BankServant()
+    for name in BANK_IDL.operations:
+        assert callable(getattr(servant, name)), name
+
+
+# ----------------------------------------------------------------------
+# sensors
+# ----------------------------------------------------------------------
+
+def test_fusion_running_average():
+    fusion = FusionServant()
+    fusion.report("radar", 1, 100, 200)
+    fusion.report("lidar", 1, 300, 400)
+    position = fusion.track_position(1)
+    assert position == {"x_mm": 200, "y_mm": 300, "reports": 2}
+    assert fusion.track_count() == 1
+
+
+def test_fusion_unknown_track():
+    fusion = FusionServant()
+    assert fusion.track_position(42) == {"x_mm": 0, "y_mm": 0, "reports": 0}
+
+
+def test_fusion_state_roundtrip():
+    fusion = FusionServant()
+    for track, x, y in scripted_track(7, steps=5):
+        fusion.report("radar", track, x, y)
+    clone = FusionServant()
+    clone.set_state(fusion.get_state())
+    assert clone.track_position(7) == fusion.track_position(7)
+    assert clone.track_count() == 1
+
+
+def test_scripted_track_is_deterministic():
+    assert scripted_track(1, 3) == scripted_track(1, 3)
+    assert len(scripted_track(1, 10)) == 10
+
+
+def test_fusion_idl_covers_all_operations():
+    servant = FusionServant()
+    for name in FUSION_IDL.operations:
+        assert callable(getattr(servant, name)), name
+
+
+# ----------------------------------------------------------------------
+# packet driver
+# ----------------------------------------------------------------------
+
+def test_packet_payload_sizing_hits_64_byte_frames():
+    key = b"packet-sink"
+    size = payload_size_for_frame(key)
+    op = PACKET_IDL.operation("push")
+    body = op.marshal_args([b"\xab" * size])
+    from repro.orb.giop import RequestMessage
+
+    frame = RequestMessage(0, key, "push", body, response_expected=False).encode()
+    assert len(frame) == TARGET_IIOP_BYTES
+    decoded = decode_message(frame)
+    assert decoded.operation == "push"
+
+
+def test_packet_payload_sizing_never_negative():
+    huge_key = b"k" * 100
+    assert payload_size_for_frame(huge_key) == 0
