@@ -58,12 +58,15 @@ def run_packet_driver_case(
     modulus_bits=300,
     messages_per_token_visit=6,
     config=None,
+    obs=None,
 ):
     """Measure server throughput for one (case, interval) point.
 
     Returns a :class:`CaseResult`.  ``interval`` is in seconds (the
     paper's x-axis is microseconds between consecutive invocations at
-    the client).
+    the client).  Passing an :class:`~repro.obs.Observability` attaches
+    the metrics registry and span tracker to the run and publishes the
+    measured throughput into it alongside the protocol counters.
     """
     if config is None:
         config = ImmuneConfig(
@@ -74,7 +77,10 @@ def run_packet_driver_case(
         )
     # Tracing off: performance runs generate millions of events.
     immune = ImmuneSystem(
-        num_processors=num_processors, config=config, trace_kinds=frozenset()
+        num_processors=num_processors,
+        config=config,
+        trace_kinds=frozenset(),
+        obs=obs,
     )
     sinks = {}
 
@@ -97,6 +103,11 @@ def run_packet_driver_case(
     sink = sinks[measured_pid]
     window_start = start + warmup
     throughput = sink.throughput(window_start, end)
+    if obs is not None:
+        labels = {"case": case.name, "interval_us": int(interval * 1e6)}
+        obs.registry.gauge("bench.offered_per_sec", **labels).set(1.0 / interval)
+        obs.registry.gauge("bench.throughput_per_sec", **labels).set(throughput)
+        obs.registry.gauge("bench.received", **labels).set(sink.received)
     return CaseResult(
         case=case,
         interval=interval,

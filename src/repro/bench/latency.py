@@ -88,7 +88,7 @@ def measure_latency(case, operations=20, spacing=0.05, seed=9, num_processors=6)
                 else:
                     stub.echo(k, reply_to=lambda _n: None)
 
-        immune.scheduler.at(send_at, fire)
+        immune.scheduler.at(send_at, fire, label="latency.workload")
 
     immune.run(until=0.1 + operations * spacing + 2.0)
     return LatencyResult(case, samples)

@@ -68,7 +68,11 @@ def run_property_checks(seed=77):
         endpoints[pid].start(list(range(5)))
     for i in range(10):
         scheduler.at(
-            0.1 + 0.1 * i, endpoints[i % 4].multicast, "g", b"report-%d" % i
+            0.1 + 0.1 * i,
+            endpoints[i % 4].multicast,
+            "g",
+            b"report-%d" % i,
+            label="report.workload",
         )
     scheduler.run(until=10.0)
     correct = {0, 1, 2, 3}

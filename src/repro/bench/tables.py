@@ -104,7 +104,7 @@ class _Drill:
                     if not self.immune.processors[pid].crashed:
                         stub.bump("%s-%d" % (prefix, k))
 
-            scheduler.at(start + k * spacing, fire)
+            scheduler.at(start + k * spacing, fire, label="drill.workload")
         return ["%s-%d" % (prefix, k) for k in range(count)]
 
     def run(self, until):
@@ -307,7 +307,9 @@ def drill_malformed_token(seed=13):
 def drill_replica_crash(seed=13):
     drill = _Drill(seed=seed)
     expected = drill.send_bumps(0.3, 4, prefix="pre")
-    drill.immune.scheduler.at(1.2, crash_replica, drill.immune, "tally", 1)
+    drill.immune.scheduler.at(
+        1.2, crash_replica, drill.immune, "tally", 1, label="drill.crash"
+    )
     expected += drill.send_bumps(2.5, 4, prefix="post")
     drill.run(until=6.0)
     group = drill.immune.group_members("tally")
@@ -381,7 +383,7 @@ def drill_server_value_fault(seed=13):
                 stub.total(reply_to=results.append)
 
     drill.send_bumps(0.3, 3)
-    scheduler.at(1.5, query)
+    scheduler.at(1.5, query, label="drill.query")
     drill.run(until=12.0)
     members = drill.immune.surviving_members()
     handled = (

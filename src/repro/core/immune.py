@@ -61,6 +61,7 @@ class ImmuneSystem:
         net_params=None,
         fault_plan=None,
         trace_kinds=None,
+        obs=None,
     ):
         self.config = config or ImmuneConfig()
         self.config.validate_system(num_processors)
@@ -68,12 +69,17 @@ class ImmuneSystem:
         self.streams = RngStreams(self.config.seed)
         self.trace = TraceLog(self.scheduler, enabled_kinds=trace_kinds)
         self.fault_plan = fault_plan
+        self.obs = obs
+        if obs is not None:
+            obs.bind(self.scheduler)
+            self.scheduler.attach_metrics(obs.registry)
         self.network = Network(
             self.scheduler,
             params=net_params or NetworkParams(),
             rng=self.streams.stream("net"),
             fault_plan=fault_plan,
             trace=None,
+            obs=obs,
         )
         self.processors = {}
         self.orbs = {}
@@ -114,9 +120,15 @@ class ImmuneSystem:
                     self.config.crypto_costs,
                     self.config.multicast,
                     self.trace,
+                    obs=obs,
                 )
                 manager = ReplicationManager(
-                    processor, self.scheduler, endpoint, self.config, self.trace
+                    processor,
+                    self.scheduler,
+                    endpoint,
+                    self.config,
+                    self.trace,
+                    obs=obs,
                 )
                 orb.set_transport(ImmuneInterceptor(manager))
                 self.endpoints[pid] = endpoint
@@ -125,6 +137,17 @@ class ImmuneSystem:
                 orb.set_transport(DirectTransport(self.network))
         if fault_plan is not None:
             fault_plan.arm_crashes(self.scheduler, self.processors)
+        if obs is not None:
+            obs.registry.add_collector(self._collect_cpu_metrics)
+
+    def _collect_cpu_metrics(self, registry):
+        """Publish every processor's simulated CPU bill by category."""
+        for pid in sorted(self.processors):
+            accounting = self.processors[pid].cpu_accounting
+            for category in sorted(accounting):
+                registry.gauge("cpu.seconds", proc=pid, category=category).set(
+                    accounting[category]
+                )
 
     # ------------------------------------------------------------------
     # deployment

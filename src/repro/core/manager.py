@@ -52,12 +52,14 @@ class ReplicationError(Exception):
 class ReplicationManager:
     """The per-processor Replication Manager."""
 
-    def __init__(self, processor, scheduler, endpoint, config, trace=None):
+    def __init__(self, processor, scheduler, endpoint, config, trace=None, obs=None):
         self.processor = processor
         self.scheduler = scheduler
         self.endpoint = endpoint
         self.config = config
         self._trace = trace
+        self._obs = obs
+        self._spans = obs.spans if obs is not None else None
         self.my_id = processor.proc_id
         self.groups = ObjectGroupTable()
         self.voting_enabled = config.case.voting
@@ -89,8 +91,28 @@ class ReplicationManager:
             "invocations_sent": 0,
             "responses_sent": 0,
             "delivered_to_orb": 0,
+            "duplicates_suppressed": 0,
             "value_fault_votes_sent": 0,
         }
+        if obs is not None:
+            registry = obs.registry
+            self._m_invocations_sent = registry.counter(
+                "rm.invocations_sent", proc=self.my_id
+            )
+            self._m_responses_sent = registry.counter(
+                "rm.responses_sent", proc=self.my_id
+            )
+            self._m_delivered = registry.counter(
+                "rm.delivered_to_orb", proc=self.my_id
+            )
+            self._m_dups_suppressed = registry.counter(
+                "rm.duplicates_suppressed", proc=self.my_id
+            )
+        else:
+            self._m_invocations_sent = None
+            self._m_responses_sent = None
+            self._m_delivered = None
+            self._m_dups_suppressed = None
         endpoint.on_deliver(self._on_deliver)
         endpoint.on_membership_change(self._on_membership_change)
 
@@ -116,7 +138,11 @@ class ReplicationManager:
         self._local_groups.add(group_name)
         if group_name not in self._voters:
             self._voters[group_name] = Voter(
-                group_name, self.groups, self.endpoint.signing.digest_fn
+                group_name,
+                self.groups,
+                self.endpoint.signing.digest_fn,
+                obs=self._obs,
+                proc_id=self.my_id,
             )
             self._dup_filters[group_name] = DuplicateFilter()
 
@@ -206,6 +232,16 @@ class ReplicationManager:
             normalised,
         )
         self.stats["invocations_sent"] += 1
+        if self._m_invocations_sent is not None:
+            self._m_invocations_sent.inc()
+        if self._spans is not None:
+            # Spans follow the *logical* invocation: all replicas of the
+            # client group issue the same (source_group, op_num), and
+            # first-mark-wins in the tracker keeps the earliest time.
+            self._spans.begin(
+                (source_group, op_num), oneway=not message.response_expected
+            )
+            self._spans.mark((source_group, op_num), "intercepted")
         if self._trace is not None:
             self._trace.record(
                 "rm.invoke",
@@ -215,12 +251,16 @@ class ReplicationManager:
                 op_num=op_num,
             )
         self.endpoint.multicast(reference.group_name, wrapped.encode())
+        if self._spans is not None:
+            self._spans.mark((source_group, op_num), "multicast_queued")
 
     def _response_sink(self, client_group, op_num, server_group):
         def send_response(reply_frame):
             if self.processor.crashed:
                 return
             self.processor.charge(INTERCEPTION_COST, "rm.intercept")
+            if self._spans is not None:
+                self._spans.mark((client_group, op_num), "executed")
             wrapped = ImmuneMessage(
                 KIND_RESPONSE,
                 server_group,
@@ -230,6 +270,8 @@ class ReplicationManager:
                 reply_frame,
             )
             self.stats["responses_sent"] += 1
+            if self._m_responses_sent is not None:
+                self._m_responses_sent.inc()
             self.endpoint.multicast(client_group, wrapped.encode())
 
         return send_response
@@ -262,6 +304,13 @@ class ReplicationManager:
         self._buffer_if_joining(sender_id, seq, dest_group, payload)
         if dest_group not in self._local_groups:
             return  # filtered: no replica of the target group here
+        if self._spans is not None:
+            if message.kind == KIND_INVOCATION:
+                self._spans.mark((message.source_group, message.op_num), "ordered")
+            else:
+                self._spans.mark(
+                    (message.target_group, message.op_num), "reply_ordered"
+                )
         if message.kind == KIND_RESPONSE and message.source_group in self._passive_sources:
             # A passive primary answers alone; there is nothing to vote
             # on — which is precisely why passive replication cannot
@@ -284,6 +333,8 @@ class ReplicationManager:
         if outcome is None:
             return
         if isinstance(outcome, VoteDecision):
+            if self._spans is not None and message.kind == KIND_INVOCATION:
+                self._spans.mark((message.source_group, message.op_num), "voted")
             if outcome.faulty_senders:
                 self._publish_value_fault(message, outcome.vote_set)
             self._deliver_operation(message, outcome.body)
@@ -292,15 +343,27 @@ class ReplicationManager:
 
     def _deliver_without_voting(self, message):
         dup = self._dup_filters[message.target_group]
-        if dup.mark_delivered(self._op_key(message)):
-            self._deliver_operation(message, message.body)
+        if not dup.mark_delivered(self._op_key(message)):
+            self.stats["duplicates_suppressed"] += 1
+            if self._m_dups_suppressed is not None:
+                self._m_dups_suppressed.inc()
+            return
+        if self._spans is not None and message.kind == KIND_INVOCATION:
+            self._spans.mark((message.source_group, message.op_num), "voted")
+        self._deliver_operation(message, message.body)
 
     def _deliver_operation(self, message, body):
         if self._orb is None:
             raise ReplicationError("Replication Manager has no bound ORB")
         self.processor.charge(INTERCEPTION_COST, "rm.deliver")
         self.stats["delivered_to_orb"] += 1
+        if self._m_delivered is not None:
+            self._m_delivered.inc()
         if message.kind == KIND_INVOCATION:
+            if self._spans is not None:
+                self._spans.mark(
+                    (message.source_group, message.op_num), "dispatched"
+                )
             reply_sink = self._response_sink(
                 message.source_group, message.op_num, message.target_group
             )
@@ -328,6 +391,8 @@ class ReplicationManager:
         if not isinstance(reply, ReplyMessage):
             return
         restored = ReplyMessage(original_id, reply.reply_status, reply.body).encode()
+        if self._spans is not None:
+            self._spans.mark((message.target_group, message.op_num), "reply_voted")
         if self._trace is not None:
             self._trace.record(
                 "rm.deliver_response",

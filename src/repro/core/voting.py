@@ -53,7 +53,7 @@ class LateFault:
 class Voter:
     """Majority voter for one locally-hosted target group."""
 
-    def __init__(self, target_group, group_table, digest_fn):
+    def __init__(self, target_group, group_table, digest_fn, obs=None, proc_id=None):
         self.target_group = target_group
         self._groups = group_table
         self._digest_fn = digest_fn
@@ -63,6 +63,19 @@ class Voter:
         #: op_key -> (winning digest, vote set at decision time)
         self._decided = {}
         self.stats = {"copies": 0, "decisions": 0, "late_duplicates": 0, "faults_seen": 0}
+        if obs is not None:
+            labels = {"group": target_group}
+            if proc_id is not None:
+                labels["proc"] = proc_id
+            registry = obs.registry
+            self._m_copies = registry.counter("vote.copies", **labels)
+            self._m_decisions = registry.counter("vote.decisions", **labels)
+            self._m_mismatches = registry.counter("vote.mismatches", **labels)
+            self._m_late_duplicates = registry.counter(
+                "vote.late_duplicates", **labels
+            )
+        else:
+            self._m_copies = None
 
     def add_copy(self, source_group, op_num, sender, body):
         """Tally one copy; returns VoteDecision, LateFault, or None."""
@@ -71,14 +84,20 @@ class Voter:
         op_key = (source_group, op_num)
         digest = self._digest_fn(body)
         self.stats["copies"] += 1
+        if self._m_copies is not None:
+            self._m_copies.inc()
 
         decided = self._decided.get(op_key)
         if decided is not None:
             winning_digest, vote_set = decided
             if digest == winning_digest:
                 self.stats["late_duplicates"] += 1
+                if self._m_copies is not None:
+                    self._m_late_duplicates.inc()
                 return None
             self.stats["faults_seen"] += 1
+            if self._m_copies is not None:
+                self._m_mismatches.inc()
             vote_set = vote_set + ((sender, digest),)
             self._decided[op_key] = (winning_digest, vote_set)
             return LateFault(op_key, sender, digest, vote_set)
@@ -109,10 +128,14 @@ class Voter:
                     faulty.add(sender)
         if faulty:
             self.stats["faults_seen"] += len(faulty)
+            if self._m_copies is not None:
+                self._m_mismatches.inc(len(faulty))
         body = entry["body"][winner]
         del self._pending[op_key]
         self._decided[op_key] = (winner, tuple(vote_set))
         self.stats["decisions"] += 1
+        if self._m_copies is not None:
+            self._m_decisions.inc()
         return VoteDecision(op_key, body, winner, faulty, tuple(vote_set))
 
     def reconsider(self):

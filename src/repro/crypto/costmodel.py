@@ -56,6 +56,21 @@ class CryptoCostModel:
         """Seconds to verify one RSA signature (quadratic in modulus size)."""
         return self.verify_base * self._scale(2)
 
+    def describe(self):
+        """Calibration summary for run reports: {operation: seconds}.
+
+        The observability dashboard prints this next to the *measured*
+        ``crypto.seconds`` counters, so a run's crypto bill can be read
+        against the model that produced it.
+        """
+        return {
+            "modulus_bits": self.modulus_bits,
+            "digest_base": self.digest_base,
+            "digest_per_byte": self.digest_per_byte,
+            "sign": self.sign_cost(),
+            "verify": self.verify_cost(),
+        }
+
     def with_modulus(self, modulus_bits):
         """A copy of this model at a different key size (for ablations)."""
         return CryptoCostModel(

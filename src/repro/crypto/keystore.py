@@ -40,10 +40,10 @@ class KeyStore:
         """Public key of ``proc_id``; provisioning on demand."""
         return self.provision(proc_id).public
 
-    def signing_service(self, processor, cost_model):
+    def signing_service(self, processor, cost_model, obs=None):
         """Build the :class:`SigningService` for one processor."""
         keypair = self.provision(processor.proc_id)
-        return SigningService(processor, keypair, self, cost_model)
+        return SigningService(processor, keypair, self, cost_model, obs=obs)
 
 
 class SigningService:
@@ -54,38 +54,58 @@ class SigningService:
     below the ORB and preempt application processing.
     """
 
-    def __init__(self, processor, keypair, keystore, cost_model):
+    def __init__(self, processor, keypair, keystore, cost_model, obs=None):
         self.processor = processor
         self._keypair = keypair
         self._keystore = keystore
         self.cost_model = cost_model
+        if obs is not None:
+            registry = obs.registry
+            pid = processor.proc_id
+            self._m_digest_ops = registry.counter("crypto.digest_ops", proc=pid)
+            self._m_sign_ops = registry.counter("crypto.sign_ops", proc=pid)
+            self._m_verify_ops = registry.counter("crypto.verify_ops", proc=pid)
+            self._m_seconds = {
+                "digest": registry.counter("crypto.seconds", proc=pid, op="digest"),
+                "sign": registry.counter("crypto.seconds", proc=pid, op="sign"),
+                "verify": registry.counter("crypto.seconds", proc=pid, op="verify"),
+            }
+        else:
+            self._m_digest_ops = None
 
     @property
     def digest_fn(self):
         """The raw digest function (no CPU charging) for structural hashing."""
         return self._keystore.digest_fn
 
+    def _charge(self, cost, op):
+        self.processor.charge(cost, "crypto." + op, priority=True)
+        if self._m_digest_ops is not None:
+            self._m_seconds[op].inc(cost)
+
     def digest(self, data):
         """MD4 digest of ``data``, charging simulated digest time."""
-        self.processor.charge(
-            self.cost_model.digest_cost(len(data)), "crypto.digest", priority=True
-        )
+        self._charge(self.cost_model.digest_cost(len(data)), "digest")
+        if self._m_digest_ops is not None:
+            self._m_digest_ops.inc()
         return self._keystore.digest_fn(data)
 
     def sign(self, data):
         """Sign ``digest(data)``; charges the (dominant) signing cost."""
         digest = self._keystore.digest_fn(data)
-        self.processor.charge(
-            self.cost_model.digest_cost(len(data)), "crypto.digest", priority=True
-        )
-        self.processor.charge(self.cost_model.sign_cost(), "crypto.sign", priority=True)
+        self._charge(self.cost_model.digest_cost(len(data)), "digest")
+        self._charge(self.cost_model.sign_cost(), "sign")
+        if self._m_digest_ops is not None:
+            self._m_digest_ops.inc()
+            self._m_sign_ops.inc()
         return self._keypair.sign(digest)
 
     def verify(self, signer_id, data, signature):
         """Verify ``signature`` over ``data`` against ``signer_id``'s key."""
         digest = self._keystore.digest_fn(data)
-        self.processor.charge(
-            self.cost_model.digest_cost(len(data)), "crypto.digest", priority=True
-        )
-        self.processor.charge(self.cost_model.verify_cost(), "crypto.verify", priority=True)
+        self._charge(self.cost_model.digest_cost(len(data)), "digest")
+        self._charge(self.cost_model.verify_cost(), "verify")
+        if self._m_digest_ops is not None:
+            self._m_digest_ops.inc()
+            self._m_verify_ops.inc()
         return self._keystore.public_key(signer_id).verify(digest, signature)

@@ -55,6 +55,7 @@ class DeliveryProtocol:
         detector,
         deliver_cb,
         trace=None,
+        obs=None,
     ):
         self.processor = processor
         self.scheduler = scheduler
@@ -119,6 +120,30 @@ class DeliveryProtocol:
             "digest_discards": 0,
             "token_visits": 0,
         }
+        if obs is not None:
+            registry = obs.registry
+            pid = self.my_id
+            self._m_token_visits = registry.counter("multicast.token_visits", proc=pid)
+            self._m_rotations = registry.counter("multicast.token_rotations", proc=pid)
+            self._m_tokens_signed = registry.counter("multicast.tokens_signed", proc=pid)
+            self._m_sent = registry.counter("multicast.sent", proc=pid)
+            self._m_delivered = registry.counter("multicast.delivered", proc=pid)
+            self._m_retransmits = registry.counter("multicast.retransmits", proc=pid)
+            self._m_digest_discards = registry.counter(
+                "multicast.digest_discards", proc=pid
+            )
+            self._m_msgs_per_visit = registry.histogram(
+                "multicast.messages_per_visit", proc=pid
+            )
+            registry.add_collector(self._collect_metrics)
+        else:
+            self._m_token_visits = None
+
+    def _collect_metrics(self, registry):
+        pid = self.my_id
+        registry.gauge("multicast.send_queue", proc=pid).set(len(self._send_queue))
+        registry.gauge("multicast.delivered_up_to", proc=pid).set(self._delivered_up_to)
+        registry.gauge("multicast.seq_horizon", proc=pid).set(self._max_seq_seen)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -309,6 +334,8 @@ class DeliveryProtocol:
         self._prune_token_history(token.visit)
         self._max_seq_seen = max(self._max_seq_seen, token.seq)
         self.stats["token_visits"] += 1
+        if self._m_token_visits is not None:
+            self._m_token_visits.inc()
         if self.config.security.digests_enabled:
             for seq, digest in token.message_digest_list:
                 self._digest_by_seq[seq] = (digest, token.sender_id)
@@ -413,7 +440,10 @@ class DeliveryProtocol:
         rtr_in |= self._pending_rtr
         self._outgoing_frames = []
         rtg = self._service_retransmissions(rtr_in)
+        sent_before = self.stats["sent"]
         digest_list = self._send_new_messages()
+        if self._m_token_visits is not None:
+            self._m_msgs_per_visit.observe(self.stats["sent"] - sent_before)
         my_gaps = self._missing_seqs()
         rtr_out = sorted((rtr_in - set(rtg)) | my_gaps)
         aru, aru_id = self._update_aru(previous)
@@ -434,6 +464,8 @@ class DeliveryProtocol:
         )
         if self.config.security.signatures_enabled:
             token.signature = self.signing.sign(token.signable_bytes())
+            if self._m_token_visits is not None:
+                self._m_tokens_signed.inc()
         raw = token.encode()
         # The visit's frames (retransmissions, new messages, then the
         # token — Figure 6 of the paper) leave the processor only once
@@ -455,6 +487,11 @@ class DeliveryProtocol:
             self._token_covering[seq] = token.visit
         self._prune_token_history(token.visit)
         self.stats["token_visits"] += 1
+        if self._m_token_visits is not None:
+            # Originating is this processor's turn in the rotation: the
+            # per-processor origination count *is* its rotation count.
+            self._m_token_visits.inc()
+            self._m_rotations.inc()
         self._pending_rtr.clear()
         self._strikes = 0
         self._reset_progress_timer()
@@ -489,6 +526,8 @@ class DeliveryProtocol:
             self._received.setdefault(seq, []).append(raw)
             self._max_seq_seen = seq
             self.stats["sent"] += 1
+            if self._m_token_visits is not None:
+                self._m_sent.inc()
             budget -= 1
         return digest_list
 
@@ -506,6 +545,8 @@ class DeliveryProtocol:
             for raw in variants:
                 self._outgoing_frames.append(raw)
                 self.stats["retransmits"] += 1
+                if self._m_token_visits is not None:
+                    self._m_retransmits.inc()
             visit = self._token_covering.get(seq)
             if visit is not None:
                 covering_visits.add(visit)
@@ -596,6 +637,8 @@ class DeliveryProtocol:
             self._delivered_up_to = seq
             advanced = True
             self.stats["delivered"] += 1
+            if self._m_token_visits is not None:
+                self._m_delivered.inc()
             self.processor.charge(
                 self.config.message_handling_cost, "multicast.deliver", priority=True
             )
@@ -639,6 +682,8 @@ class DeliveryProtocol:
         self._received.pop(seq, None)
         self._pending_rtr.add(seq)
         self.stats["digest_discards"] += 1
+        if self._m_token_visits is not None:
+            self._m_digest_discards.inc()
         if self._trace is not None:
             self._trace.record("multicast.digest_discard", proc=self.my_id, seq=seq)
         return None

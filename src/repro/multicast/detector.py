@@ -51,10 +51,11 @@ class Suspicion:
 class ByzantineFaultDetector:
     """Per-processor suspicion state feeding the membership protocol."""
 
-    def __init__(self, my_id, scheduler, trace=None):
+    def __init__(self, my_id, scheduler, trace=None, obs=None):
         self.my_id = my_id
         self.scheduler = scheduler
         self._trace = trace
+        self._obs = obs
         self._suspicions = {}
         self._listeners = []
         #: timeout-suspicion episodes per processor: "repeatedly fails"
@@ -80,6 +81,10 @@ class ByzantineFaultDetector:
             existing.reasons.add(reason)
         if reason not in PROVABLE_REASONS:
             self._episodes[proc_id] = self._episodes.get(proc_id, 0) + 1
+        if self._obs is not None:
+            self._obs.registry.counter(
+                "detector.suspicions", proc=self.my_id, reason=reason
+            ).inc()
         if self._trace is not None:
             self._trace.record(
                 "detector.suspect",
@@ -117,6 +122,8 @@ class ByzantineFaultDetector:
         fully = not suspicion.reasons
         if fully:
             del self._suspicions[proc_id]
+        if self._obs is not None:
+            self._obs.registry.counter("detector.absolved", proc=self.my_id).inc()
         if self._trace is not None:
             self._trace.record(
                 "detector.absolve",

@@ -41,14 +41,27 @@ from repro.multicast.token import Token
 class SecureGroupEndpoint:
     """One processor's attachment to the Secure Multicast Protocols."""
 
-    def __init__(self, processor, scheduler, network, keystore, crypto_costs, config=None, trace=None):
+    def __init__(
+        self,
+        processor,
+        scheduler,
+        network,
+        keystore,
+        crypto_costs,
+        config=None,
+        trace=None,
+        obs=None,
+    ):
         self.processor = processor
         self.scheduler = scheduler
         self.network = network
         self.config = config or MulticastConfig()
         self._trace = trace
-        self.signing = keystore.signing_service(processor, crypto_costs)
-        self.detector = ByzantineFaultDetector(processor.proc_id, scheduler, trace)
+        self.obs = obs
+        self.signing = keystore.signing_service(processor, crypto_costs, obs=obs)
+        self.detector = ByzantineFaultDetector(
+            processor.proc_id, scheduler, trace, obs=obs
+        )
         self.delivery = DeliveryProtocol(
             processor,
             scheduler,
@@ -58,6 +71,7 @@ class SecureGroupEndpoint:
             self.detector,
             self._dispatch_delivery,
             trace,
+            obs=obs,
         )
         self.membership = MembershipEngine(
             processor,
@@ -69,6 +83,7 @@ class SecureGroupEndpoint:
             self.delivery,
             self._dispatch_membership,
             trace,
+            obs=obs,
         )
         self._deliver_listeners = []
         self._membership_listeners = []

@@ -66,6 +66,7 @@ class MembershipEngine:
         delivery,
         install_cb,
         trace=None,
+        obs=None,
     ):
         self.processor = processor
         self.scheduler = scheduler
@@ -112,6 +113,20 @@ class MembershipEngine:
         #: join requests older than this are ignored (replay ageing)
         self.join_request_window = 2.0
 
+        #: when the current reconfiguration began (for duration metrics)
+        self._reconfig_started_at = None
+        if obs is not None:
+            registry = obs.registry
+            pid = self.my_id
+            self._m_reconfigs = registry.counter("membership.reconfigurations", proc=pid)
+            self._m_installs = registry.counter("membership.installs", proc=pid)
+            self._m_rounds = registry.counter("membership.rounds", proc=pid)
+            self._m_reconfig_seconds = registry.histogram(
+                "membership.reconfig_seconds", proc=pid
+            )
+        else:
+            self._m_reconfigs = None
+
         detector.on_change(self._on_suspicion)
         delivery.coverage_listener = self.notify_coverage
 
@@ -138,6 +153,7 @@ class MembershipEngine:
         """
         self.joining = True
         self.state = STATE_RECONFIG
+        self._reconfig_started_at = self.scheduler.now
         self.delivery.suspend()
         self._round = 0
         self._silent_rounds = {}
@@ -201,6 +217,10 @@ class MembershipEngine:
 
     def _begin_reconfiguration(self, propose=True):
         self.state = STATE_RECONFIG
+        self._reconfig_started_at = self.scheduler.now
+        if self._m_reconfigs is not None:
+            self._m_reconfigs.inc()
+            self._m_rounds.inc()
         self.delivery.suspend()
         self.delivery.freeze_delivery()
         self._round = 1
@@ -366,6 +386,8 @@ class MembershipEngine:
     def _advance_round(self, new_round):
         if self._agreed_candidate is not None:
             return  # agreement reached; finish the install instead
+        if self._m_reconfigs is not None:
+            self._m_rounds.inc()
         self._round = new_round
         self._reset_negotiation_state()
         self._broadcast_proposal()
@@ -526,6 +548,13 @@ class MembershipEngine:
         self._accusations = {}
         self._reset_negotiation_state()
         self.installed_history.append((new_ring_id, self.members))
+        if self._m_reconfigs is not None:
+            self._m_installs.inc()
+            if self._reconfig_started_at is not None:
+                self._m_reconfig_seconds.observe(
+                    self.scheduler.now - self._reconfig_started_at
+                )
+        self._reconfig_started_at = None
         if self._trace is not None:
             self._trace.record(
                 "membership.install",
@@ -546,6 +575,7 @@ class MembershipEngine:
         rather than installing.
         """
         self.state = STATE_HALTED
+        self._reconfig_started_at = None
         self._cancel_round_timer()
         self.delivery.suspend()
         if self._trace is not None:

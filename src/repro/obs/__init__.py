@@ -1,0 +1,59 @@
+"""Observability for the Immune system reproduction.
+
+The paper's claims are quantitative; this package is the measured view
+of a running simulation:
+
+* :mod:`repro.obs.metrics` — a :class:`MetricsRegistry` of labelled
+  counters, gauges, and streaming-quantile histograms, fed by every
+  layer of the stack;
+* :mod:`repro.obs.spans` — causal :class:`InvocationSpan` records that
+  follow one CORBA invocation from client-side interception through
+  token-ordered delivery, majority voting, server execution, and the
+  voted reply — Figure 7's latency decomposition, measured;
+* :mod:`repro.obs.export` — a JSONL exporter and console dashboard;
+* ``python -m repro.obs.report`` — a seeded, deterministic run that
+  prints the dashboard and writes the JSONL artefact.
+
+An :class:`Observability` bundle is handed to
+:class:`~repro.core.immune.ImmuneSystem` (or built standalone for the
+protocol-only worlds) and wires itself through the scheduler, network,
+multicast, voting, and crypto layers::
+
+    obs = Observability()
+    immune = ImmuneSystem(num_processors=6, config=config, obs=obs)
+    ...
+    immune.run(until=2.0)
+    print(render_dashboard(summarize(obs)))
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.spans import SPAN_STAGES, InvocationSpan, SpanTracker
+
+
+class Observability:
+    """One deployment's metrics registry plus invocation span tracker."""
+
+    def __init__(self, registry=None, spans=None, max_spans=None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.spans = (
+            spans
+            if spans is not None
+            else SpanTracker(registry=self.registry, max_spans=max_spans)
+        )
+
+    def bind(self, scheduler):
+        """Attach the simulation's scheduler as the time source."""
+        self.spans.bind(scheduler)
+        return self
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InvocationSpan",
+    "MetricsRegistry",
+    "Observability",
+    "SPAN_STAGES",
+    "SpanTracker",
+]

@@ -1,0 +1,302 @@
+"""Run-report export: JSONL artefacts and a console dashboard.
+
+Two consumers sit on the observability layer.  Machine-readable output
+is a JSONL file — one self-describing record per line (``run`` header,
+every metric instance, every periodic sample, every span, the
+aggregated stage breakdown, and a final ``summary``) — which keeps the
+artefact grep-able and stream-parsable without a schema registry.  The
+human-readable output is a fixed-width console dashboard built from the
+same :func:`summarize` dict, so the two never disagree.
+
+Everything emitted is deterministic for a fixed simulation seed: keys
+are sorted, floats come straight from the simulation clock, and no wall
+time or hostnames are recorded.
+"""
+
+import json
+
+
+def _family_totals(registry, name, label=None):
+    """Sum a counter family's values, optionally grouped by one label."""
+    if label is None:
+        return registry.total(name)
+    out = {}
+    for metric in registry.family(name):
+        key = dict(metric.labels).get(label)
+        out[key] = out.get(key, 0) + metric.value
+    return out
+
+
+def _merge_histograms(registry, name):
+    """Collapse a histogram family into one summary dict."""
+    count = 0
+    total = 0.0
+    lo = None
+    hi = None
+    for metric in registry.family(name):
+        if metric.count == 0:
+            continue
+        count += metric.count
+        total += metric.sum
+        lo = metric.min if lo is None else min(lo, metric.min)
+        hi = metric.max if hi is None else max(hi, metric.max)
+    return {
+        "count": count,
+        "sum": total,
+        "min": lo,
+        "max": hi,
+        "mean": (total / count) if count else 0.0,
+    }
+
+
+def summarize(obs, crypto_costs=None):
+    """Aggregate the registry and spans into one report dict.
+
+    ``crypto_costs`` is an optional
+    :class:`~repro.crypto.costmodel.CryptoCostModel`, printed alongside
+    the measured crypto counters so the run's bill can be read against
+    its calibration.
+    """
+    registry = obs.registry
+    registry.collect()
+    spans = obs.spans
+
+    messages_sent = registry.total("multicast.sent")
+    tokens_signed = registry.total("multicast.tokens_signed")
+    stage_breakdown = [
+        {"stage": stage, "count": count, "mean": mean, "max": peak}
+        for stage, count, mean, peak in spans.stage_breakdown()
+    ]
+    open_by_stage = {}
+    for span in spans.open_spans():
+        last = span.last_stage or "(no stage)"
+        open_by_stage[last] = open_by_stage.get(last, 0) + 1
+
+    summary = {
+        "stage_breakdown": stage_breakdown,
+        "end_to_end": _merge_histograms(registry, "span.end_to_end_seconds"),
+        "spans": {
+            "closed": len(spans.closed_spans()),
+            "open": len(spans.open_spans()),
+            "evicted": spans.evicted,
+            "open_by_last_stage": dict(sorted(open_by_stage.items())),
+        },
+        "amortisation": {
+            "messages_sent": messages_sent,
+            "tokens_signed": tokens_signed,
+            # Table 3's j: regular messages amortised per signed token.
+            "ratio": (messages_sent / tokens_signed) if tokens_signed else None,
+        },
+        "network": {
+            "frames_sent": registry.total("net.frames_sent"),
+            "bytes_sent": registry.total("net.bytes_sent"),
+            "frames_delivered": registry.total("net.frames_delivered"),
+            "frames_dropped": registry.total("net.frames_dropped"),
+            "frames_corrupted": registry.total("net.frames_corrupted"),
+        },
+        "multicast": {
+            "delivered": registry.total("multicast.delivered"),
+            "retransmits": registry.total("multicast.retransmits"),
+            "token_visits": registry.total("multicast.token_visits"),
+            "token_rotations": registry.total("multicast.token_rotations"),
+            "digest_discards": registry.total("multicast.digest_discards"),
+        },
+        "votes": {
+            "copies": registry.total("vote.copies"),
+            "decisions": registry.total("vote.decisions"),
+            "mismatches": registry.total("vote.mismatches"),
+            "late_duplicates": registry.total("vote.late_duplicates"),
+            "duplicates_suppressed": registry.total("rm.duplicates_suppressed"),
+        },
+        "detector": {
+            "suspicions_by_reason": _family_totals(
+                registry, "detector.suspicions", label="reason"
+            ),
+            "absolved": registry.total("detector.absolved"),
+        },
+        "membership": {
+            "reconfigurations": registry.total("membership.reconfigurations"),
+            "installs": registry.total("membership.installs"),
+            "rounds": registry.total("membership.rounds"),
+            "reconfig_seconds": _merge_histograms(
+                registry, "membership.reconfig_seconds"
+            ),
+        },
+        "crypto": {
+            "digest_ops": registry.total("crypto.digest_ops"),
+            "sign_ops": registry.total("crypto.sign_ops"),
+            "verify_ops": registry.total("crypto.verify_ops"),
+            "seconds_by_op": _family_totals(registry, "crypto.seconds", label="op"),
+        },
+        "cpu_seconds_by_category": _family_totals(
+            registry, "cpu.seconds", label="category"
+        ),
+        "scheduler": {
+            "now": registry.value("scheduler.now"),
+            "events_executed": registry.value("scheduler.events_executed"),
+            "busiest_labels": [
+                [dict(metric.labels).get("label"), metric.value]
+                for metric in sorted(
+                    registry.family("scheduler.events"),
+                    key=lambda m: (-m.value, dict(m.labels).get("label") or ""),
+                )[:10]
+            ],
+        },
+    }
+    if crypto_costs is not None:
+        summary["crypto"]["calibration"] = crypto_costs.describe()
+    return summary
+
+
+def export_jsonl(path, obs, run_info=None, crypto_costs=None):
+    """Write the whole observability state to ``path`` as JSONL.
+
+    Record types, one JSON object per line, each tagged ``record``:
+
+    * ``run`` — the caller-supplied run description (seed, case, ...);
+    * ``metric`` — one metric instance (name, kind, labels, values);
+    * ``sample`` — one periodic snapshot ``(time, metrics)``;
+    * ``span`` — one invocation span (open spans included);
+    * ``stage`` — one row of the aggregated Figure 7 breakdown;
+    * ``summary`` — the :func:`summarize` dict.
+
+    Returns the summary dict so callers can render the dashboard from
+    the same aggregation that was persisted.
+    """
+    registry = obs.registry
+    registry.collect()
+    summary = summarize(obs, crypto_costs=crypto_costs)
+    with open(path, "w") as fh:
+        def emit(record):
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+        emit({"record": "run", **(run_info or {})})
+        for entry in registry.snapshot():
+            emit({"record": "metric", **entry})
+        for time, snapshot in registry.samples:
+            emit({"record": "sample", "time": time, "metrics": snapshot})
+        for span in obs.spans.spans():
+            emit({"record": "span", **span.to_dict()})
+        for row in summary["stage_breakdown"]:
+            emit({"record": "stage", **row})
+        emit({"record": "summary", **summary})
+    return summary
+
+
+# ----------------------------------------------------------------------
+# console dashboard
+# ----------------------------------------------------------------------
+
+def _fmt_seconds(value):
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return "%.3f s" % value
+    if value >= 1e-3:
+        return "%.3f ms" % (value * 1e3)
+    return "%.1f us" % (value * 1e6)
+
+
+def render_dashboard(summary, run_info=None):
+    """Render a :func:`summarize` dict as a fixed-width console report."""
+    lines = []
+    add = lines.append
+
+    def header(title):
+        add("")
+        add("== %s %s" % (title, "=" * max(0, 58 - len(title))))
+
+    add("Immune system run report")
+    if run_info:
+        add("  " + "  ".join(
+            "%s=%s" % (k, run_info[k]) for k in sorted(run_info)
+        ))
+
+    header("Invocation latency breakdown (Figure 7 stages)")
+    rows = summary["stage_breakdown"]
+    if rows:
+        add("  %-18s %8s %12s %12s" % ("stage", "count", "mean", "max"))
+        for row in rows:
+            add("  %-18s %8d %12s %12s" % (
+                row["stage"], row["count"],
+                _fmt_seconds(row["mean"]), _fmt_seconds(row["max"]),
+            ))
+        e2e = summary["end_to_end"]
+        add("  %-18s %8d %12s %12s" % (
+            "end-to-end", e2e["count"],
+            _fmt_seconds(e2e["mean"]), _fmt_seconds(e2e["max"]),
+        ))
+    else:
+        add("  (no closed spans)")
+    spans = summary["spans"]
+    add("  spans: %d closed, %d open, %d evicted" % (
+        spans["closed"], spans["open"], spans["evicted"]))
+    for stage, count in spans["open_by_last_stage"].items():
+        add("    open at %-16s %d" % (stage, count))
+
+    header("Token signature amortisation (Table 3)")
+    amort = summary["amortisation"]
+    add("  messages sent     %8d" % amort["messages_sent"])
+    add("  tokens signed     %8d" % amort["tokens_signed"])
+    add("  measured j        %8s" % (
+        "%.2f" % amort["ratio"] if amort["ratio"] is not None else "-"))
+
+    header("Network and retransmissions")
+    net = summary["network"]
+    mc = summary["multicast"]
+    add("  frames sent       %8d   bytes sent      %10d" % (
+        net["frames_sent"], net["bytes_sent"]))
+    add("  frames delivered  %8d   frames dropped  %10d" % (
+        net["frames_delivered"], net["frames_dropped"]))
+    add("  frames corrupted  %8d   retransmits     %10d" % (
+        net["frames_corrupted"], mc["retransmits"]))
+    add("  ordered deliveries%8d   digest discards %10d" % (
+        mc["delivered"], mc["digest_discards"]))
+    add("  token visits      %8d   rotations       %10d" % (
+        mc["token_visits"], mc["token_rotations"]))
+
+    header("Majority voting")
+    votes = summary["votes"]
+    add("  copies voted      %8d   decisions       %10d" % (
+        votes["copies"], votes["decisions"]))
+    add("  mismatches        %8d   late duplicates %10d" % (
+        votes["mismatches"], votes["late_duplicates"]))
+    add("  dups suppressed   %8d" % votes["duplicates_suppressed"])
+
+    header("Fault detection and membership")
+    det = summary["detector"]
+    for reason, count in sorted(det["suspicions_by_reason"].items()):
+        add("  suspicion %-16s %6d" % (reason, count))
+    if not det["suspicions_by_reason"]:
+        add("  (no suspicions raised)")
+    add("  absolved          %8d" % det["absolved"])
+    mem = summary["membership"]
+    add("  reconfigurations  %8d   installs        %10d" % (
+        mem["reconfigurations"], mem["installs"]))
+    if mem["reconfig_seconds"]["count"]:
+        add("  reconfig duration mean %s  max %s" % (
+            _fmt_seconds(mem["reconfig_seconds"]["mean"]),
+            _fmt_seconds(mem["reconfig_seconds"]["max"])))
+
+    header("Simulated CPU")
+    cpu = summary["cpu_seconds_by_category"]
+    for category in sorted(cpu, key=lambda c: (-cpu[c], c)):
+        add("  %-24s %12s" % (category, _fmt_seconds(cpu[category])))
+    crypto = summary["crypto"]
+    add("  crypto ops: %d digest, %d sign, %d verify" % (
+        crypto["digest_ops"], crypto["sign_ops"], crypto["verify_ops"]))
+    if "calibration" in crypto:
+        cal = crypto["calibration"]
+        add("  calibration: %d-bit RSA, sign %s, verify %s" % (
+            cal["modulus_bits"], _fmt_seconds(cal["sign"]),
+            _fmt_seconds(cal["verify"])))
+
+    header("Event loop")
+    sched = summary["scheduler"]
+    add("  simulated time    %12s   events executed %10d" % (
+        _fmt_seconds(sched["now"]), sched["events_executed"]))
+    for label, count in sched["busiest_labels"]:
+        add("  %-24s %10d" % (label, count))
+
+    add("")
+    return "\n".join(lines)

@@ -1,0 +1,279 @@
+"""Metrics registry: counters, gauges, and streaming-quantile histograms.
+
+The quantitative claims of the paper — Figure 7's latency/throughput
+decomposition, Table 3's token-signature amortisation, the detector's
+accuracy — are statements about *aggregates*, not individual events.
+The :class:`MetricsRegistry` is the single aggregation point: every
+layer of the stack (scheduler, network, multicast, voting, crypto)
+registers labelled metric instances once and updates them on its hot
+path with plain attribute arithmetic, so instrumented runs stay cheap
+enough for the benches.
+
+Metrics are identified by a family name plus a set of labels (typically
+``proc`` and/or ``group``), mirroring the label discipline of modern
+metric systems.  Histograms use logarithmic buckets — bounded memory,
+deterministic, with a relative quantile error bounded by the bucket
+base — which is exactly what latency distributions need.
+
+Everything here is deterministic for a fixed simulation seed: no wall
+clocks, no randomness, and snapshots are emitted in sorted order.
+"""
+
+import math
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, operations)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+
+    def to_dict(self):
+        return {"value": self.value}
+
+    def __repr__(self):
+        return "Counter(%s%s=%r)" % (self.name, dict(self.labels), self.value)
+
+
+class Gauge:
+    """A point-in-time value (queue depth, CPU seconds, throughput)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = value
+
+    def add(self, amount):
+        self.value += amount
+
+    def to_dict(self):
+        return {"value": self.value}
+
+    def __repr__(self):
+        return "Gauge(%s%s=%r)" % (self.name, dict(self.labels), self.value)
+
+
+class Histogram:
+    """Streaming quantile histogram over positive values.
+
+    Observations land in logarithmic buckets ``base**i <= v < base**(i+1)``
+    (plus a dedicated bucket for zero/negative values), so memory is
+    bounded by the dynamic range of the data — a few hundred buckets
+    even for values spanning nanoseconds to hours — and any quantile is
+    recoverable with relative error bounded by ``base - 1``.  Exact
+    count, sum, min and max are kept alongside.
+    """
+
+    __slots__ = ("name", "labels", "count", "sum", "min", "max", "_buckets", "_log_base")
+    kind = "histogram"
+
+    #: default bucket growth factor: ~10% relative quantile error
+    BASE = 1.1
+
+    def __init__(self, name, labels):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min = None
+        self.max = None
+        #: bucket index -> count; index None holds values <= 0
+        self._buckets = {}
+        self._log_base = math.log(self.BASE)
+
+    def observe(self, value):
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = None if value <= 0.0 else int(math.floor(math.log(value) / self._log_base))
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    @property
+    def mean(self):
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q):
+        """The q-quantile (0 <= q <= 1), within one bucket's resolution."""
+        if not self.count:
+            return 0.0
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        rank = q * self.count
+        seen = 0
+        # The zero bucket sorts below every log bucket.
+        ordered = sorted(
+            self._buckets.items(), key=lambda kv: (-math.inf if kv[0] is None else kv[0])
+        )
+        for index, bucket_count in ordered:
+            seen += bucket_count
+            if seen >= rank:
+                if index is None:
+                    return 0.0
+                low = self.BASE ** index
+                high = self.BASE ** (index + 1)
+                # Geometric midpoint, clamped to the observed extremes.
+                mid = math.sqrt(low * high)
+                return min(max(mid, self.min), self.max)
+        return self.max
+
+    def to_dict(self):
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def __repr__(self):
+        return "Histogram(%s%s, n=%d, p50=%r)" % (
+            self.name,
+            dict(self.labels),
+            self.count,
+            self.quantile(0.5),
+        )
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class MetricsRegistry:
+    """Registry of every metric instance in one simulated deployment.
+
+    ``counter``/``gauge``/``histogram`` get-or-create an instance for a
+    (family name, labels) pair; callers hold the instance and update it
+    directly on their hot path.  ``collect`` runs registered collector
+    callbacks (which refresh derived gauges, e.g. queue depths) and
+    ``snapshot`` renders every metric as a sorted list of plain dicts.
+
+    ``sample_every`` is the scheduler-driven snapshot facility: it
+    appends ``(sim_time, snapshot)`` pairs to :attr:`samples` at a fixed
+    simulated period, giving benches a time series from the same
+    registry that produces the final totals.
+    """
+
+    def __init__(self):
+        self._metrics = {}
+        self._collectors = []
+        #: [(sim_time, snapshot)] appended by the periodic sampler
+        self.samples = []
+        self._sampler = None
+
+    # ------------------------------------------------------------------
+    # metric creation
+    # ------------------------------------------------------------------
+
+    def _get(self, kind, name, labels):
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = _KINDS[kind](name, key[1])
+            self._metrics[key] = metric
+        elif metric.kind != kind:
+            raise ValueError(
+                "metric %r already registered as a %s, not a %s"
+                % (name, metric.kind, kind)
+            )
+        return metric
+
+    def counter(self, name, **labels):
+        return self._get("counter", name, labels)
+
+    def gauge(self, name, **labels):
+        return self._get("gauge", name, labels)
+
+    def histogram(self, name, **labels):
+        return self._get("histogram", name, labels)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def family(self, name):
+        """Every metric instance of family ``name``, sorted by labels."""
+        return [
+            metric
+            for key, metric in sorted(self._metrics.items())
+            if key[0] == name
+        ]
+
+    def total(self, name):
+        """Sum of a counter/gauge family's values across all labels."""
+        return sum(metric.value for metric in self.family(name))
+
+    def value(self, name, **labels):
+        """Value of one counter/gauge instance (0 if never created)."""
+        key = (name, tuple(sorted(labels.items())))
+        metric = self._metrics.get(key)
+        return 0 if metric is None else metric.value
+
+    # ------------------------------------------------------------------
+    # collectors and snapshots
+    # ------------------------------------------------------------------
+
+    def add_collector(self, fn):
+        """Register ``fn(registry)`` to refresh derived metrics on collect."""
+        self._collectors.append(fn)
+
+    def collect(self):
+        for fn in list(self._collectors):
+            fn(self)
+
+    def snapshot(self):
+        """Render every metric as a sorted list of plain dicts."""
+        out = []
+        for (name, labels), metric in sorted(self._metrics.items()):
+            entry = {"name": name, "kind": metric.kind, "labels": dict(labels)}
+            entry.update(metric.to_dict())
+            out.append(entry)
+        return out
+
+    # ------------------------------------------------------------------
+    # scheduler-driven sampling
+    # ------------------------------------------------------------------
+
+    def sample_every(self, scheduler, period, max_samples=None):
+        """Record ``(sim_time, snapshot)`` into :attr:`samples` each period.
+
+        The sampler reschedules itself, so always bound the simulation
+        with ``run(until=...)`` (as every bench does).  ``max_samples``
+        stops the series after that many snapshots.
+        """
+
+        def tick():
+            if max_samples is not None and len(self.samples) >= max_samples:
+                self._sampler = None
+                return
+            self.collect()
+            self.samples.append((scheduler.now, self.snapshot()))
+            self._sampler = scheduler.after(period, tick, label="obs.sample")
+
+        self._sampler = scheduler.after(period, tick, label="obs.sample")
+        return self._sampler
+
+    def stop_sampling(self):
+        if self._sampler is not None:
+            self._sampler.cancel()
+            self._sampler = None

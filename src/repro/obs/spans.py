@@ -1,0 +1,214 @@
+"""Causal invocation spans: one CORBA invocation across the whole stack.
+
+Figure 7 of the paper decomposes the cost of an invocation into the
+layers it crosses: interception below the client ORB, multicast send,
+token-ordered delivery, majority voting, dispatch and execution at the
+server replicas, and the response's own ordered-and-voted return trip.
+A :class:`SpanTracker` reproduces that decomposition directly: the
+Replication Managers mark the first time each *logical* invocation
+(identified by ``(source group, operation number)``) reaches each
+stage, and the per-stage latency breakdown falls out as the deltas
+between consecutive marked stages.
+
+The tracker is global to a simulation, like the
+:class:`~repro.sim.tracing.TraceLog`: replicas of the same group mark
+the same span, and only the first observation of a stage counts, so a
+span describes the logical invocation's critical path rather than any
+single replica's view.
+
+Spans are never silently dropped: a span whose terminal stage
+(``dispatched`` for one-way invocations, ``reply_voted`` for two-way)
+was never reached stays in :meth:`SpanTracker.open_spans` and is
+reported by the exporter with the last stage it did reach.
+"""
+
+#: the stages of one invocation, in causal order
+SPAN_STAGES = (
+    "intercepted",       # client RM intercepted the outbound GIOP request
+    "multicast_queued",  # handed to the secure multicast endpoint
+    "ordered",           # first totally-ordered delivery at a server-side RM
+    "voted",             # invocation majority vote decided (or dup-filtered)
+    "dispatched",        # winning frame injected into a server ORB
+    "executed",          # servant finished; reply frame left the server RM
+    "reply_ordered",     # first response copy totally-ordered at a client RM
+    "reply_voted",       # response vote decided; reply handed to client ORB
+)
+
+_STAGE_INDEX = {stage: i for i, stage in enumerate(SPAN_STAGES)}
+
+
+class InvocationSpan:
+    """The lifecycle of one logical invocation."""
+
+    __slots__ = ("key", "oneway", "marks", "_recorded")
+
+    def __init__(self, key, oneway):
+        self.key = key
+        self.oneway = oneway
+        #: stage name -> first simulation time it was observed
+        self.marks = {}
+        self._recorded = False
+
+    @property
+    def terminal_stage(self):
+        return "dispatched" if self.oneway else "reply_voted"
+
+    @property
+    def closed(self):
+        return self.terminal_stage in self.marks
+
+    @property
+    def last_stage(self):
+        """The latest (causally) stage this span reached, or None."""
+        reached = [s for s in SPAN_STAGES if s in self.marks]
+        return reached[-1] if reached else None
+
+    def mark(self, stage, time):
+        """Record the first observation of ``stage``; later ones are no-ops."""
+        if stage not in _STAGE_INDEX:
+            raise ValueError("unknown span stage %r" % (stage,))
+        if stage not in self.marks:
+            self.marks[stage] = time
+
+    def breakdown(self):
+        """[(stage, latency since the previous marked stage)], in order.
+
+        The first marked stage contributes ``(stage, 0.0)``; a stage
+        never observed (e.g. the reply stages of a one-way invocation)
+        is omitted.
+        """
+        out = []
+        previous = None
+        for stage in SPAN_STAGES:
+            t = self.marks.get(stage)
+            if t is None:
+                continue
+            out.append((stage, 0.0 if previous is None else t - previous))
+            previous = t
+        return out
+
+    def end_to_end(self):
+        """Latency from the first to the last marked stage."""
+        times = [self.marks[s] for s in SPAN_STAGES if s in self.marks]
+        return times[-1] - times[0] if len(times) > 1 else 0.0
+
+    def to_dict(self):
+        return {
+            "key": list(self.key),
+            "oneway": self.oneway,
+            "closed": self.closed,
+            "last_stage": self.last_stage,
+            "stages": {s: self.marks[s] for s in SPAN_STAGES if s in self.marks},
+            "end_to_end": self.end_to_end(),
+        }
+
+    def __repr__(self):
+        return "InvocationSpan(%r, %s, %s)" % (
+            self.key,
+            "oneway" if self.oneway else "twoway",
+            "closed" if self.closed else "open@%s" % self.last_stage,
+        )
+
+
+class SpanTracker:
+    """Tracks every invocation span of one simulated deployment.
+
+    When a ``registry`` is supplied, closing a span feeds the
+    ``span.stage_seconds`` histogram (labelled by stage) and the
+    ``span.end_to_end_seconds`` histogram, so the metrics snapshot and
+    the raw spans always agree.  ``max_spans`` bounds memory on long
+    runs by discarding the *oldest closed* spans first (open spans are
+    always retained so they can be reported).
+    """
+
+    def __init__(self, registry=None, max_spans=None):
+        self._scheduler = None
+        self._registry = registry
+        self._spans = {}
+        self.max_spans = max_spans
+        #: closed spans evicted by max_spans (they still count here)
+        self.evicted = 0
+
+    def bind(self, scheduler):
+        """Attach the simulation's time source (done by the facade)."""
+        self._scheduler = scheduler
+        return self
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def begin(self, key, oneway=False):
+        """Get-or-create the span for one logical invocation."""
+        span = self._spans.get(key)
+        if span is None:
+            span = InvocationSpan(key, oneway)
+            self._spans[key] = span
+            self._evict_if_needed()
+        return span
+
+    def mark(self, key, stage):
+        """Mark ``stage`` on the span for ``key`` (creating it if new)."""
+        span = self.begin(key)
+        span.mark(stage, self._scheduler.now)
+        if span.closed and not span._recorded:
+            span._recorded = True
+            self._record_closed(span)
+        return span
+
+    def _record_closed(self, span):
+        if self._registry is None:
+            return
+        for stage, delta in span.breakdown()[1:]:
+            self._registry.histogram("span.stage_seconds", stage=stage).observe(delta)
+        self._registry.histogram("span.end_to_end_seconds").observe(span.end_to_end())
+        self._registry.counter("span.closed").inc()
+
+    def _evict_if_needed(self):
+        if self.max_spans is None or len(self._spans) <= self.max_spans:
+            return
+        for key in list(self._spans):
+            if len(self._spans) <= self.max_spans:
+                break
+            if self._spans[key].closed:
+                del self._spans[key]
+                self.evicted += 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def spans(self):
+        """Every retained span, in creation order."""
+        return list(self._spans.values())
+
+    def closed_spans(self):
+        return [s for s in self._spans.values() if s.closed]
+
+    def open_spans(self):
+        """Spans that never reached their terminal stage — reported, not
+        silently dropped."""
+        return [s for s in self._spans.values() if not s.closed]
+
+    def get(self, key):
+        return self._spans.get(key)
+
+    def stage_breakdown(self):
+        """Aggregate per-stage latency over closed spans.
+
+        Returns ``[(stage, count, mean, max)]`` in causal stage order —
+        the Figure 7 decomposition of where an invocation's time goes.
+        """
+        sums = {}
+        counts = {}
+        maxes = {}
+        for span in self.closed_spans():
+            for stage, delta in span.breakdown()[1:]:
+                sums[stage] = sums.get(stage, 0.0) + delta
+                counts[stage] = counts.get(stage, 0) + 1
+                maxes[stage] = max(maxes.get(stage, 0.0), delta)
+        return [
+            (stage, counts[stage], sums[stage] / counts[stage], maxes[stage])
+            for stage in SPAN_STAGES
+            if stage in counts
+        ]

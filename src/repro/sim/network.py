@@ -77,7 +77,7 @@ def _flip_bytes(payload, rng):
 class Network:
     """The shared LAN connecting all processors."""
 
-    def __init__(self, scheduler, params=None, rng=None, fault_plan=None, trace=None):
+    def __init__(self, scheduler, params=None, rng=None, fault_plan=None, trace=None, obs=None):
         self.scheduler = scheduler
         self.params = params or NetworkParams()
         self._rng = rng
@@ -86,7 +86,26 @@ class Network:
         self._processors = {}
         self._medium_free_at = 0.0
         #: counters for reports
-        self.stats = {"sent": 0, "delivered": 0, "dropped": 0, "corrupted": 0}
+        self.stats = {
+            "sent": 0,
+            "delivered": 0,
+            "dropped": 0,
+            "corrupted": 0,
+            "bytes_sent": 0,
+        }
+        if obs is not None:
+            registry = obs.registry
+            self._m_frames_sent = registry.counter("net.frames_sent")
+            self._m_bytes_sent = registry.counter("net.bytes_sent")
+            self._m_delivered = registry.counter("net.frames_delivered")
+            self._m_dropped = registry.counter("net.frames_dropped")
+            self._m_corrupted = registry.counter("net.frames_corrupted")
+            registry.add_collector(self._collect_metrics)
+        else:
+            self._m_frames_sent = None
+
+    def _collect_metrics(self, registry):
+        registry.gauge("net.medium_busy_until").set(self._medium_free_at)
 
     # ------------------------------------------------------------------
     # topology
@@ -130,6 +149,10 @@ class Network:
             raise SimulationError("network payloads must be bytes, got %r" % type(payload))
         payload = bytes(payload)
         self.stats["sent"] += 1
+        self.stats["bytes_sent"] += len(payload) + self.params.header_bytes
+        if self._m_frames_sent is not None:
+            self._m_frames_sent.inc()
+            self._m_bytes_sent.inc(len(payload) + self.params.header_bytes)
         now = self.scheduler.now
         start = max(now, self._medium_free_at)
         end = start + self.params.transmit_time(len(payload))
@@ -144,6 +167,8 @@ class Network:
         plan = self._fault_plan
         if plan is not None and plan.should_drop(src_id, dst_id, self.scheduler.now, rng):
             self.stats["dropped"] += 1
+            if self._m_frames_sent is not None:
+                self._m_dropped.inc()
             if self._trace is not None:
                 self._trace.record("net.drop", src=src_id, dst=dst_id, port=dst_port)
             return
@@ -152,6 +177,8 @@ class Network:
             datagram.payload = _flip_bytes(payload, rng if rng is not None else _REQUIRED_RNG())
             datagram.corrupted = True
             self.stats["corrupted"] += 1
+            if self._m_frames_sent is not None:
+                self._m_corrupted.inc()
             if self._trace is not None:
                 self._trace.record("net.corrupt", src=src_id, dst=dst_id, port=dst_port)
         delay = self.params.propagation_delay
@@ -172,6 +199,8 @@ class Network:
         if receiver is None or receiver.crashed:
             return
         self.stats["delivered"] += 1
+        if self._m_frames_sent is not None:
+            self._m_delivered.inc()
         if self._trace is not None:
             self._trace.record(
                 "net.deliver", src=datagram.src, dst=dst_id, port=datagram.dst_port

@@ -71,6 +71,9 @@ class Scheduler:
         self._now = 0.0
         self._stopped = False
         self.events_executed = 0
+        #: label -> executed count, maintained only while metrics are
+        #: attached (keeps the uninstrumented hot loop unchanged)
+        self.events_by_label = None
 
     @property
     def now(self):
@@ -101,6 +104,38 @@ class Scheduler:
         """Number of non-cancelled events still queued."""
         return sum(1 for e in self._queue if not e.cancelled)
 
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def attach_metrics(self, registry):
+        """Profile the event loop into a metrics registry.
+
+        Turns on per-label execution counting (the event-loop profile:
+        which callbacks dominate the run) and registers a collector
+        that refreshes queue-depth and progress gauges at every
+        registry snapshot.
+        """
+        if self.events_by_label is None:
+            self.events_by_label = {}
+        registry.add_collector(self._collect_metrics)
+
+    def _collect_metrics(self, registry):
+        registry.gauge("scheduler.now").set(self._now)
+        registry.gauge("scheduler.queue_depth").set(len(self._queue))
+        registry.gauge("scheduler.queue_pending").set(self.pending())
+        registry.gauge("scheduler.events_executed").set(self.events_executed)
+        for label, count in self.events_by_label.items():
+            counter = registry.counter("scheduler.events", label=label)
+            counter.value = count
+
+    def busiest_labels(self, n=10):
+        """The ``n`` most-executed event labels: ``[(label, count)]``."""
+        if not self.events_by_label:
+            return []
+        ranked = sorted(self.events_by_label.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
     def run(self, until=None, max_events=None):
         """Execute events in order.
 
@@ -124,6 +159,10 @@ class Scheduler:
             event.fn(*event.args)
             executed += 1
             self.events_executed += 1
+            counts = self.events_by_label
+            if counts is not None:
+                label = event.label or "(unlabeled)"
+                counts[label] = counts.get(label, 0) + 1
         if not self._queue and until is not None and self._now < until:
             self._now = until
         return self._now

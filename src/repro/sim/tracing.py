@@ -8,6 +8,8 @@ protocol layer appends :class:`TraceRecord` entries to a shared
 the table benches then assert over the completed history.
 """
 
+from collections import deque
+
 
 class TraceRecord:
     """One timestamped event in the global history."""
@@ -34,43 +36,64 @@ class TraceRecord:
 
 
 class TraceLog:
-    """Append-only log of simulation events, indexed by kind."""
+    """Append-only log of simulation events, indexed by kind.
 
-    def __init__(self, scheduler, enabled_kinds=None):
+    ``max_records`` caps the log as a ring buffer: once the cap is
+    reached, recording a new event evicts the globally oldest retained
+    record (from both the main log and its kind index), so long bench
+    runs with the noisy ``net.*`` kinds enabled stay bounded.  All
+    queries (``of_kind``, ``where``, ``count``...) then describe the
+    retained window; :attr:`evicted` counts what fell out of it.
+    """
+
+    def __init__(self, scheduler, enabled_kinds=None, max_records=None):
         self._scheduler = scheduler
-        self.records = []
+        self.records = deque()
         self._by_kind = {}
         #: if set, only these kinds are recorded (benches disable the
         #: noisy ``net.*`` kinds to keep long runs cheap)
         self.enabled_kinds = enabled_kinds
+        #: if set, retain only the most recent ``max_records`` records
+        self.max_records = max_records
+        #: records evicted by the ring-buffer cap
+        self.evicted = 0
 
     def record(self, kind, **fields):
         if self.enabled_kinds is not None and kind not in self.enabled_kinds:
             return None
         rec = TraceRecord(self._scheduler.now, kind, fields)
         self.records.append(rec)
-        self._by_kind.setdefault(kind, []).append(rec)
+        self._by_kind.setdefault(kind, deque()).append(rec)
+        if self.max_records is not None and len(self.records) > self.max_records:
+            # Records are appended in time order, so the global oldest
+            # is also the oldest of its kind: both evictions are O(1).
+            oldest = self.records.popleft()
+            kind_queue = self._by_kind[oldest.kind]
+            kind_queue.popleft()
+            if not kind_queue:
+                del self._by_kind[oldest.kind]
+            self.evicted += 1
         return rec
 
     def of_kind(self, kind):
-        """All records of ``kind``, in time order."""
-        return list(self._by_kind.get(kind, []))
+        """All retained records of ``kind``, in time order."""
+        return list(self._by_kind.get(kind, ()))
 
     def of_kinds(self, *kinds):
-        """Records of any of ``kinds``, merged in global order."""
+        """Retained records of any of ``kinds``, merged in global order."""
         wanted = set(kinds)
         return [rec for rec in self.records if rec.kind in wanted]
 
     def where(self, kind, **match):
         """Records of ``kind`` whose fields equal every ``match`` item."""
         out = []
-        for rec in self._by_kind.get(kind, []):
+        for rec in self._by_kind.get(kind, ()):
             if all(rec.fields.get(key) == value for key, value in match.items()):
                 out.append(rec)
         return out
 
     def count(self, kind):
-        return len(self._by_kind.get(kind, []))
+        return len(self._by_kind.get(kind, ()))
 
     def kinds(self):
         return sorted(self._by_kind)

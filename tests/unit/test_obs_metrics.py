@@ -1,0 +1,118 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.sim.scheduler import Scheduler
+
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("net.frames_sent", proc=0)
+    counter.inc()
+    counter.inc(4)
+    assert registry.value("net.frames_sent", proc=0) == 5
+    gauge = registry.gauge("queue_depth", proc=0)
+    gauge.set(7)
+    gauge.add(-2)
+    assert registry.value("queue_depth", proc=0) == 5
+
+
+def test_labels_identify_instances():
+    registry = MetricsRegistry()
+    a = registry.counter("sent", proc=0)
+    b = registry.counter("sent", proc=1)
+    assert a is not b
+    assert a is registry.counter("sent", proc=0)
+    a.inc(2)
+    b.inc(3)
+    assert registry.total("sent") == 5
+    assert [dict(m.labels) for m in registry.family("sent")] == [
+        {"proc": 0},
+        {"proc": 1},
+    ]
+    # A never-created instance reads as zero.
+    assert registry.value("sent", proc=9) == 0
+
+
+def test_kind_conflict_is_an_error():
+    registry = MetricsRegistry()
+    registry.counter("x", proc=0)
+    with pytest.raises(ValueError):
+        registry.gauge("x", proc=0)
+
+
+def test_histogram_quantiles_on_known_distribution():
+    hist = Histogram("lat", ())
+    values = [0.001 * n for n in range(1, 1001)]  # 1ms .. 1s uniform
+    for v in values:
+        hist.observe(v)
+    assert hist.count == 1000
+    assert hist.min == pytest.approx(0.001)
+    assert hist.max == pytest.approx(1.0)
+    assert hist.mean == pytest.approx(sum(values) / 1000)
+    # Log-bucketed quantiles: relative error bounded by the bucket base.
+    for q, exact in [(0.5, 0.5), (0.9, 0.9), (0.99, 0.99)]:
+        estimate = hist.quantile(q)
+        assert abs(estimate - exact) / exact < Histogram.BASE - 1.0 + 0.02
+    assert hist.quantile(0.0) == hist.min
+    assert hist.quantile(1.0) == hist.max
+
+
+def test_histogram_handles_zero_and_negative():
+    hist = Histogram("deltas", ())
+    hist.observe(0.0)
+    hist.observe(-1.0)
+    hist.observe(2.0)
+    assert hist.count == 3
+    assert hist.quantile(0.4) == 0.0  # the <=0 bucket sorts first
+    d = hist.to_dict()
+    assert d["min"] == -1.0 and d["max"] == 2.0
+
+
+def test_empty_histogram_is_safe():
+    hist = Histogram("empty", ())
+    assert hist.quantile(0.5) == 0.0
+    assert hist.mean == 0.0
+    assert hist.to_dict()["count"] == 0
+
+
+def test_snapshot_is_sorted_and_plain():
+    registry = MetricsRegistry()
+    registry.counter("b", proc=1).inc()
+    registry.counter("a", proc=0).inc(2)
+    registry.histogram("h").observe(0.5)
+    snap = registry.snapshot()
+    assert [entry["name"] for entry in snap] == ["a", "b", "h"]
+    assert snap[0] == {"name": "a", "kind": "counter", "labels": {"proc": 0}, "value": 2}
+    assert snap[2]["kind"] == "histogram"
+    assert snap[2]["count"] == 1
+
+
+def test_collectors_refresh_derived_metrics():
+    registry = MetricsRegistry()
+    state = {"depth": 3}
+    registry.add_collector(
+        lambda reg: reg.gauge("queue_depth").set(state["depth"])
+    )
+    registry.collect()
+    assert registry.value("queue_depth") == 3
+    state["depth"] = 9
+    registry.collect()
+    assert registry.value("queue_depth") == 9
+
+
+def test_sample_every_records_time_series():
+    scheduler = Scheduler()
+    registry = MetricsRegistry()
+    counter = registry.counter("ticks")
+    scheduler.after(0.25, counter.inc, label="tick")
+    scheduler.after(0.75, counter.inc, label="tick")
+    registry.sample_every(scheduler, period=0.5, max_samples=3)
+    scheduler.run(until=10.0)
+    times = [t for t, _snap in registry.samples]
+    assert times == [0.5, 1.0, 1.5]
+    first = {e["name"]: e for e in registry.samples[0][1]}
+    last = {e["name"]: e for e in registry.samples[-1][1]}
+    assert first["ticks"]["value"] == 1
+    assert last["ticks"]["value"] == 2
