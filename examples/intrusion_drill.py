@@ -35,7 +35,7 @@ class AuditLogServant:
 
 def main():
     config = ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=99)
-    immune = ImmuneSystem(num_processors=6, config=config)
+    immune = ImmuneSystem(num_processors=6, config=config, trace_max_records=100_000)
     log = immune.deploy("audit", LOG_IDL, lambda pid: AuditLogServant(), [0, 1, 5])
     writer = immune.deploy_client("writer", [3, 4, 5])
     immune.start()

@@ -7,6 +7,8 @@ under each of the four survivability cases.  Throughput is measured at
 a server replica over a steady-state window, discarding warm-up.
 """
 
+import time
+
 from repro.core.config import ImmuneConfig, SurvivabilityCase
 from repro.core.immune import ImmuneSystem
 from repro.workloads.packet_driver import PACKET_IDL, PacketDriver, PacketSink
@@ -22,7 +24,10 @@ CASE_LABELS = {
 class CaseResult:
     """One measured point of the Figure 7 sweep."""
 
-    def __init__(self, case, interval, offered, throughput, sent, received, cpu):
+    def __init__(
+        self, case, interval, offered, throughput, sent, received, cpu,
+        run_wall_seconds=None,
+    ):
         self.case = case
         self.interval = interval
         #: invocations/s the client attempted (1/interval)
@@ -33,6 +38,11 @@ class CaseResult:
         self.received = received
         #: measured server processor's CPU accounting by category
         self.cpu = cpu
+        #: host wall-clock seconds spent inside the simulation loop (the
+        #: hot loop the perf gate measures); excludes system
+        #: construction and key generation, which are identical setup
+        #: work in every configuration
+        self.run_wall_seconds = run_wall_seconds
 
     @property
     def interval_us(self):
@@ -75,11 +85,14 @@ def run_packet_driver_case(
             modulus_bits=modulus_bits,
             messages_per_token_visit=messages_per_token_visit,
         )
-    # Tracing off: performance runs generate millions of events.
+    # Tracing off: performance runs generate millions of events.  The
+    # ring-buffer cap is belt and braces — should a caller-supplied
+    # config re-enable kinds, the log still cannot grow unbounded.
     immune = ImmuneSystem(
         num_processors=num_processors,
         config=config,
         trace_kinds=frozenset(),
+        trace_max_records=10_000,
         obs=obs,
     )
     sinks = {}
@@ -97,7 +110,9 @@ def run_packet_driver_case(
     start = 0.02  # let the initial membership install first
     end = start + warmup + duration
     driver.run_for(start, warmup + duration)
+    wall_begin = time.perf_counter()
     immune.run(until=end + 0.05)
+    run_wall_seconds = time.perf_counter() - wall_begin
 
     measured_pid = server.replica_procs[0]
     sink = sinks[measured_pid]
@@ -116,6 +131,7 @@ def run_packet_driver_case(
         sent=driver.sent_per_replica,
         received=sink.received,
         cpu=dict(immune.processors[measured_pid].cpu_accounting),
+        run_wall_seconds=run_wall_seconds,
     )
 
 

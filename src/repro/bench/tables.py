@@ -79,8 +79,13 @@ class _Drill:
                  server_procs=(0, 1, 2), client_procs=(3, 4, 5),
                  servant_factory=None):
         config = ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=seed)
+        # The drills assert over the trace history, so tracing stays on;
+        # the cap merely bounds memory if a drill is run much longer.
         self.immune = ImmuneSystem(
-            num_processors=num_processors, config=config, fault_plan=fault_plan
+            num_processors=num_processors,
+            config=config,
+            fault_plan=fault_plan,
+            trace_max_records=200_000,
         )
         self.servants = {}
 

@@ -17,7 +17,13 @@ copies sent by different replicas are byte-identical and can be voted
 on by value).
 """
 
+import struct
+
+from repro import perf
 from repro.orb.cdr import CdrDecoder, CdrEncoder, MarshalError
+
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
 
 KIND_INVOCATION = 1
 KIND_RESPONSE = 2
@@ -88,21 +94,60 @@ class ImmuneMessage:
     def operation_id(self):
         return OperationId(self.source_group, self.op_num)
 
+    #: (kind, source_group, replica_proc, target_group) -> (prefix, mid)
+    #: byte templates.  A Replication Manager re-encodes thousands of
+    #: messages that differ only in ``op_num`` and ``body``; everything
+    #: around those two fields (including CDR alignment padding, which
+    #: depends only on the fixed-length fields) is a constant byte
+    #: string, so the hot encode is two struct packs and a concat.
+    _TEMPLATE_CACHE = perf.register_cache(perf.BytesKeyedCache("immune.encode_template", 1024))
+
     def encode(self):
+        if not perf.optimized_enabled():
+            return self._encode()
+        key = (self.kind, self.source_group, self.replica_proc, self.target_group)
+        template = self._TEMPLATE_CACHE.get(key)
+        if template is None:
+            template = self._TEMPLATE_CACHE.put(key, self._make_template())
+        prefix, mid = template
+        return prefix + _U64.pack(self.op_num) + mid + _U32.pack(len(self.body)) + self.body
+
+    def _encode(self):
         encoder = CdrEncoder()
-        encoder.write("octet", self.kind)
-        encoder.write("string", self.source_group)
-        encoder.write("ulonglong", self.op_num)
-        encoder.write("ulong", self.replica_proc)
-        encoder.write("string", self.target_group)
-        encoder.write("octets", self.body)
+        encoder.write_octet(self.kind)
+        encoder.write_string(self.source_group)
+        encoder.write_ulonglong(self.op_num)
+        encoder.write_ulong(self.replica_proc)
+        encoder.write_string(self.target_group)
+        encoder.write_octets(self.body)
         return encoder.getvalue()
+
+    def _make_template(self):
+        """Derive (prefix, mid) from two generic probe encodings.
+
+        The probes differ only in ``op_num``, so the first differing
+        byte locates the 8-byte op_num field; the trailing 4 bytes of an
+        empty-body probe are the body length.  The reconstruction is
+        checked against the generic encoder once per template, so a
+        future layout change cannot silently desynchronise them.
+        """
+        cls = type(self)
+        fixed = (self.kind, self.source_group, self.replica_proc, self.target_group)
+        probe = cls(fixed[0], fixed[1], 0, fixed[2], fixed[3], b"")._encode()
+        probe_hi = cls(fixed[0], fixed[1], 2**64 - 1, fixed[2], fixed[3], b"")._encode()
+        offset = next(i for i in range(len(probe)) if probe[i] != probe_hi[i])
+        prefix, mid = probe[:offset], probe[offset + 8 : -4]
+        check = cls(fixed[0], fixed[1], 12345, fixed[2], fixed[3], b"xyz")
+        rebuilt = prefix + _U64.pack(12345) + mid + _U32.pack(3) + b"xyz"
+        if rebuilt != check._encode():
+            raise ImmuneCodecError("ImmuneMessage encode template mismatch")
+        return prefix, mid
 
     @classmethod
     def decode(cls, data):
         try:
             decoder = CdrDecoder(data)
-            kind = decoder.read("octet")
+            kind = decoder.read_octet()
             if kind not in (
                 KIND_INVOCATION,
                 KIND_RESPONSE,
@@ -114,14 +159,37 @@ class ImmuneMessage:
                 raise ImmuneCodecError("unknown Immune message kind %d" % kind)
             return cls(
                 kind,
-                decoder.read("string"),
-                decoder.read("ulonglong"),
-                decoder.read("ulong"),
-                decoder.read("string"),
-                decoder.read("octets"),
+                decoder.read_string(),
+                decoder.read_ulonglong(),
+                decoder.read_ulong(),
+                decoder.read_string(),
+                decoder.read_octets(),
             )
         except MarshalError as exc:
             raise ImmuneCodecError("malformed Immune message: %s" % exc)
+
+    #: payload bytes -> decoded message, shared across every processor:
+    #: one multicast delivery hands the identical payload to N
+    #: Replication Managers, which would otherwise each re-parse it.
+    _DECODE_CACHE = perf.register_cache(perf.BytesKeyedCache("immune.decode", 8192))
+
+    @classmethod
+    def decode_shared(cls, data):
+        """Memoised :meth:`decode` for the delivery fan-out path.
+
+        Decoded messages are read-only downstream (managers vote on and
+        forward ``body`` bytes, never mutate the message), so sharing
+        one object across processors is observationally identical.
+        Malformed payloads are not cached; the exception path is
+        untouched.
+        """
+        if not perf.optimized_enabled():
+            return cls.decode(data)
+        key = bytes(data)
+        message = cls._DECODE_CACHE.get(key)
+        if message is None:
+            message = cls._DECODE_CACHE.put(key, cls.decode(key))
+        return message
 
     def __repr__(self):
         kinds = {

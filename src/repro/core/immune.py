@@ -61,13 +61,16 @@ class ImmuneSystem:
         net_params=None,
         fault_plan=None,
         trace_kinds=None,
+        trace_max_records=None,
         obs=None,
     ):
         self.config = config or ImmuneConfig()
         self.config.validate_system(num_processors)
         self.scheduler = Scheduler()
         self.streams = RngStreams(self.config.seed)
-        self.trace = TraceLog(self.scheduler, enabled_kinds=trace_kinds)
+        self.trace = TraceLog(
+            self.scheduler, enabled_kinds=trace_kinds, max_records=trace_max_records
+        )
         self.fault_plan = fault_plan
         self.obs = obs
         if obs is not None:

@@ -39,7 +39,12 @@ from repro.core.value_fault import (
     ValueFaultVote,
 )
 from repro.core.voting import LateFault, VoteDecision, Voter
-from repro.orb.giop import GiopError, ReplyMessage, RequestMessage, decode_message
+from repro.orb.giop import (
+    GiopError,
+    ReplyMessage,
+    RequestMessage,
+    decode_message_shared,
+)
 
 #: simulated CPU cost of intercepting/wrapping one IIOP frame
 INTERCEPTION_COST = 15e-6
@@ -206,7 +211,9 @@ class ReplicationManager:
             )
         source_group = bytes(source_key).decode("utf-8")
         try:
-            message = decode_message(frame)
+            # All replicas of the client intercept byte-identical stub
+            # frames (deterministic request ids): parse once, share.
+            message = decode_message_shared(frame)
         except GiopError:
             return
         if not isinstance(message, RequestMessage):
@@ -242,7 +249,7 @@ class ReplicationManager:
                 (source_group, op_num), oneway=not message.response_expected
             )
             self._spans.mark((source_group, op_num), "intercepted")
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "rm.invoke",
                 proc=self.my_id,
@@ -282,7 +289,9 @@ class ReplicationManager:
 
     def _on_deliver(self, sender_id, seq, dest_group, payload):
         try:
-            message = ImmuneMessage.decode(payload)
+            # Every Replication Manager on the ring receives the same
+            # delivered payload; the shared decode parses it once.
+            message = ImmuneMessage.decode_shared(payload)
         except ImmuneCodecError:
             return
         if message.replica_proc != sender_id:
@@ -367,7 +376,7 @@ class ReplicationManager:
             reply_sink = self._response_sink(
                 message.source_group, message.op_num, message.target_group
             )
-            if self._trace is not None:
+            if self._trace is not None and self._trace.active:
                 self._trace.record(
                     "rm.deliver_invocation",
                     proc=self.my_id,
@@ -385,7 +394,7 @@ class ReplicationManager:
         if original_id is None:
             return  # we never issued this invocation (or already replied)
         try:
-            reply = decode_message(body)
+            reply = decode_message_shared(body)
         except GiopError:
             return
         if not isinstance(reply, ReplyMessage):
@@ -393,7 +402,7 @@ class ReplicationManager:
         restored = ReplyMessage(original_id, reply.reply_status, reply.body).encode()
         if self._spans is not None:
             self._spans.mark((message.target_group, message.op_num), "reply_voted")
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "rm.deliver_response",
                 proc=self.my_id,
@@ -423,7 +432,7 @@ class ReplicationManager:
             vote.encode(),
         )
         self.stats["value_fault_votes_sent"] += 1
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "rm.value_fault_vote",
                 proc=self.my_id,
@@ -459,7 +468,7 @@ class ReplicationManager:
     def _on_membership_change(self, ring_id, members, excluded):
         for pid in excluded:
             affected = self.groups.remove_processor(pid)
-            if self._trace is not None:
+            if self._trace is not None and self._trace.active:
                 self._trace.record(
                     "rm.exclusion",
                     proc=self.my_id,
@@ -576,5 +585,5 @@ class ReplicationManager:
             KIND_GROUP_UPDATE, group_name, 0, self.my_id, BASE_GROUP, update.encode()
         )
         self.endpoint.multicast(BASE_GROUP, announce.encode())
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record("rm.joined", proc=self.my_id, group=group_name)

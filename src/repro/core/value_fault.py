@@ -121,7 +121,7 @@ class ValueFaultDetector:
                 corrupt |= senders
         for proc_id in sorted(corrupt):
             self.stats["suspected"] += 1
-            if self._trace is not None:
+            if self._trace is not None and self._trace.active:
                 self._trace.record(
                     "value_fault.suspect",
                     observer=self._my_id,

@@ -9,8 +9,19 @@ facade that the token protocol calls, and is the single point where
 via the cost model.
 """
 
+from repro import perf
 from repro.crypto.md4 import md4_digest
 from repro.crypto.rsa import generate_keypair
+
+#: payload bytes -> digest, shared by every processor in the process:
+#: in a broadcast simulation N receivers digest byte-identical frames,
+#: so the pure computation is done once in wall-clock (each processor's
+#: *simulated* digest time is still charged individually)
+_DIGEST_CACHE = perf.register_cache(perf.BytesKeyedCache("crypto.digest", 16384))
+
+#: (signer_id, signable_bytes, signature) -> bool; ditto for the RSA
+#: verification every receiver performs on the same signed token
+_VERIFY_CACHE = perf.register_cache(perf.BytesKeyedCache("crypto.verify", 8192))
 
 
 class KeyStore:
@@ -27,8 +38,28 @@ class KeyStore:
     def __init__(self, rng, modulus_bits=300, digest_fn=md4_digest):
         self._rng = rng
         self.modulus_bits = modulus_bits
-        self.digest_fn = digest_fn
+        self._raw_digest_fn = digest_fn
+        #: the memoising wrapper IS the store's digest function: every
+        #: consumer (signing services, voters, structural hashing)
+        #: shares one memo keyed by payload bytes
+        self.digest_fn = self._digest
         self._keypairs = {}
+
+    def _digest(self, data):
+        """``digest_fn(data)``, memoised by payload bytes when optimised.
+
+        The raw function participates in the key: key stores built on
+        different digest functions (MD4 vs MD5) share the process-wide
+        memo without ever seeing each other's digests.
+        """
+        fn = self._raw_digest_fn
+        if not perf.optimized_enabled():
+            return fn(data)
+        key = (fn, bytes(data))
+        digest = _DIGEST_CACHE.get(key)
+        if digest is None:
+            digest = _DIGEST_CACHE.put(key, fn(key[1]))
+        return digest
 
     def provision(self, proc_id):
         """Generate (or return the existing) key pair for ``proc_id``."""
@@ -101,11 +132,26 @@ class SigningService:
         return self._keypair.sign(digest)
 
     def verify(self, signer_id, data, signature):
-        """Verify ``signature`` over ``data`` against ``signer_id``'s key."""
+        """Verify ``signature`` over ``data`` against ``signer_id``'s key.
+
+        Simulated digest + verification time is charged to this
+        processor unconditionally; only the wall-clock modular
+        exponentiation is shared.  Every receiver of a broadcast token
+        verifies the same ``(signer, bytes, signature)`` triple, so the
+        RSA math runs once per frame instead of once per receiver.  A
+        forged or corrupted signature is a different triple and misses.
+        """
         digest = self._keystore.digest_fn(data)
         self._charge(self.cost_model.digest_cost(len(data)), "digest")
         self._charge(self.cost_model.verify_cost(), "verify")
         if self._m_digest_ops is not None:
             self._m_digest_ops.inc()
             self._m_verify_ops.inc()
-        return self._keystore.public_key(signer_id).verify(digest, signature)
+        public_key = self._keystore.public_key(signer_id)
+        if not perf.optimized_enabled():
+            return public_key.verify(digest, signature)
+        key = (public_key, bytes(data), signature)
+        result = _VERIFY_CACHE.get(key)
+        if result is None:
+            result = _VERIFY_CACHE.put(key, public_key.verify(digest, signature))
+        return result

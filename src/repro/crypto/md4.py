@@ -11,10 +11,20 @@ because reproducing the paper's system faithfully requires the same
 (16-byte, cheap) digest function it used.  Nothing outside this module
 depends on MD4 specifically — :class:`repro.crypto.keystore.KeyStore`
 takes the digest function as a parameter.
+
+Two block functions exist: :func:`_process_block` unpacks all sixteen
+words with one precompiled :class:`struct.Struct` call and fully
+unrolls the three rounds (the hot-loop implementation), and
+:func:`_process_block_reference` keeps the table-driven RFC
+transcription.  They are asserted equal over the RFC vectors and random
+inputs in the tests; :mod:`repro.perf` baseline mode selects the
+reference so the perf bench can measure the unrolled speedup.
 """
 
 import functools
 import struct
+
+from repro import perf
 
 _MASK = 0xFFFFFFFF
 
@@ -29,6 +39,8 @@ _ROUND3_ORDER = (0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15)
 
 _ROUND2_CONSTANT = 0x5A827999
 _ROUND3_CONSTANT = 0x6ED9EBA1
+
+_BLOCK_WORDS = struct.Struct("<16I")
 
 
 def _rotl(value, amount):
@@ -57,8 +69,9 @@ def _pad(message):
     return padded
 
 
-def _process_block(state, block):
-    x = struct.unpack("<16I", block)
+def _process_block_reference(state, block):
+    """Table-driven transcription of RFC 1320 (the baseline-mode path)."""
+    x = _BLOCK_WORDS.unpack(block)
     a, b, c, d = state
 
     # Round 1.
@@ -90,13 +103,113 @@ def _process_block(state, block):
     )
 
 
+def _process_block(state, block):
+    """Fully unrolled compression: one unpack call, 48 inline steps.
+
+    F is computed as ``z ^ (x & (y ^ z))`` and G as
+    ``(x & (y | z)) | (y & z)`` — boolean-identical to the RFC forms
+    but one operation shorter.  Rotations inline the ``(v << s | v >>
+    32-s) & mask`` idiom so no helper call remains in the loop body.
+    """
+    x0, x1, x2, x3, x4, x5, x6, x7, x8, x9, x10, x11, x12, x13, x14, x15 = (
+        _BLOCK_WORDS.unpack(block)
+    )
+    a, b, c, d = state
+    M = _MASK
+
+    # Round 1: A = (A + F(B,C,D) + X[k]) <<< s, shifts 3/7/11/19.
+    t = (a + (d ^ (b & (c ^ d))) + x0) & M; a = (t << 3 | t >> 29) & M
+    t = (d + (c ^ (a & (b ^ c))) + x1) & M; d = (t << 7 | t >> 25) & M
+    t = (c + (b ^ (d & (a ^ b))) + x2) & M; c = (t << 11 | t >> 21) & M
+    t = (b + (a ^ (c & (d ^ a))) + x3) & M; b = (t << 19 | t >> 13) & M
+    t = (a + (d ^ (b & (c ^ d))) + x4) & M; a = (t << 3 | t >> 29) & M
+    t = (d + (c ^ (a & (b ^ c))) + x5) & M; d = (t << 7 | t >> 25) & M
+    t = (c + (b ^ (d & (a ^ b))) + x6) & M; c = (t << 11 | t >> 21) & M
+    t = (b + (a ^ (c & (d ^ a))) + x7) & M; b = (t << 19 | t >> 13) & M
+    t = (a + (d ^ (b & (c ^ d))) + x8) & M; a = (t << 3 | t >> 29) & M
+    t = (d + (c ^ (a & (b ^ c))) + x9) & M; d = (t << 7 | t >> 25) & M
+    t = (c + (b ^ (d & (a ^ b))) + x10) & M; c = (t << 11 | t >> 21) & M
+    t = (b + (a ^ (c & (d ^ a))) + x11) & M; b = (t << 19 | t >> 13) & M
+    t = (a + (d ^ (b & (c ^ d))) + x12) & M; a = (t << 3 | t >> 29) & M
+    t = (d + (c ^ (a & (b ^ c))) + x13) & M; d = (t << 7 | t >> 25) & M
+    t = (c + (b ^ (d & (a ^ b))) + x14) & M; c = (t << 11 | t >> 21) & M
+    t = (b + (a ^ (c & (d ^ a))) + x15) & M; b = (t << 19 | t >> 13) & M
+
+    # Round 2: A = (A + G(B,C,D) + X[k] + 5A827999) <<< s, shifts 3/5/9/13.
+    K = _ROUND2_CONSTANT
+    t = (a + ((b & (c | d)) | (c & d)) + x0 + K) & M; a = (t << 3 | t >> 29) & M
+    t = (d + ((a & (b | c)) | (b & c)) + x4 + K) & M; d = (t << 5 | t >> 27) & M
+    t = (c + ((d & (a | b)) | (a & b)) + x8 + K) & M; c = (t << 9 | t >> 23) & M
+    t = (b + ((c & (d | a)) | (d & a)) + x12 + K) & M; b = (t << 13 | t >> 19) & M
+    t = (a + ((b & (c | d)) | (c & d)) + x1 + K) & M; a = (t << 3 | t >> 29) & M
+    t = (d + ((a & (b | c)) | (b & c)) + x5 + K) & M; d = (t << 5 | t >> 27) & M
+    t = (c + ((d & (a | b)) | (a & b)) + x9 + K) & M; c = (t << 9 | t >> 23) & M
+    t = (b + ((c & (d | a)) | (d & a)) + x13 + K) & M; b = (t << 13 | t >> 19) & M
+    t = (a + ((b & (c | d)) | (c & d)) + x2 + K) & M; a = (t << 3 | t >> 29) & M
+    t = (d + ((a & (b | c)) | (b & c)) + x6 + K) & M; d = (t << 5 | t >> 27) & M
+    t = (c + ((d & (a | b)) | (a & b)) + x10 + K) & M; c = (t << 9 | t >> 23) & M
+    t = (b + ((c & (d | a)) | (d & a)) + x14 + K) & M; b = (t << 13 | t >> 19) & M
+    t = (a + ((b & (c | d)) | (c & d)) + x3 + K) & M; a = (t << 3 | t >> 29) & M
+    t = (d + ((a & (b | c)) | (b & c)) + x7 + K) & M; d = (t << 5 | t >> 27) & M
+    t = (c + ((d & (a | b)) | (a & b)) + x11 + K) & M; c = (t << 9 | t >> 23) & M
+    t = (b + ((c & (d | a)) | (d & a)) + x15 + K) & M; b = (t << 13 | t >> 19) & M
+
+    # Round 3: A = (A + (B^C^D) + X[k] + 6ED9EBA1) <<< s, shifts 3/9/11/15.
+    K = _ROUND3_CONSTANT
+    t = (a + (b ^ c ^ d) + x0 + K) & M; a = (t << 3 | t >> 29) & M
+    t = (d + (a ^ b ^ c) + x8 + K) & M; d = (t << 9 | t >> 23) & M
+    t = (c + (d ^ a ^ b) + x4 + K) & M; c = (t << 11 | t >> 21) & M
+    t = (b + (c ^ d ^ a) + x12 + K) & M; b = (t << 15 | t >> 17) & M
+    t = (a + (b ^ c ^ d) + x2 + K) & M; a = (t << 3 | t >> 29) & M
+    t = (d + (a ^ b ^ c) + x10 + K) & M; d = (t << 9 | t >> 23) & M
+    t = (c + (d ^ a ^ b) + x6 + K) & M; c = (t << 11 | t >> 21) & M
+    t = (b + (c ^ d ^ a) + x14 + K) & M; b = (t << 15 | t >> 17) & M
+    t = (a + (b ^ c ^ d) + x1 + K) & M; a = (t << 3 | t >> 29) & M
+    t = (d + (a ^ b ^ c) + x9 + K) & M; d = (t << 9 | t >> 23) & M
+    t = (c + (d ^ a ^ b) + x5 + K) & M; c = (t << 11 | t >> 21) & M
+    t = (b + (c ^ d ^ a) + x13 + K) & M; b = (t << 15 | t >> 17) & M
+    t = (a + (b ^ c ^ d) + x3 + K) & M; a = (t << 3 | t >> 29) & M
+    t = (d + (a ^ b ^ c) + x11 + K) & M; d = (t << 9 | t >> 23) & M
+    t = (c + (d ^ a ^ b) + x7 + K) & M; c = (t << 11 | t >> 21) & M
+    t = (b + (c ^ d ^ a) + x15 + K) & M; b = (t << 15 | t >> 17) & M
+
+    return (
+        (state[0] + a) & M,
+        (state[1] + b) & M,
+        (state[2] + c) & M,
+        (state[3] + d) & M,
+    )
+
+
 @functools.lru_cache(maxsize=8192)
 def _md4_digest_cached(message):
     state = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
     padded = _pad(message)
+    block_fn = (
+        _process_block if perf.optimized_enabled() else _process_block_reference
+    )
     for offset in range(0, len(padded), 64):
-        state = _process_block(state, padded[offset : offset + 64])
+        state = block_fn(state, padded[offset : offset + 64])
     return struct.pack("<4I", *state)
+
+
+class _LruCacheAdapter:
+    """Expose an ``lru_cache`` to :mod:`repro.perf` mode switches."""
+
+    name = "md4.digest"
+
+    def __init__(self, cached_fn):
+        self._fn = cached_fn
+
+    def clear(self):
+        self._fn.cache_clear()
+
+    def stats(self):
+        info = self._fn.cache_info()
+        return {"hits": info.hits, "misses": info.misses, "size": info.currsize}
+
+
+perf.register_cache(_LruCacheAdapter(_md4_digest_cached))
 
 
 def md4_digest(message):

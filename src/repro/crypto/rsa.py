@@ -14,6 +14,7 @@ within the simulation — mutant tokens injected by the adversary module
 genuinely fail verification.
 """
 
+from repro import perf
 from repro.crypto.primes import generate_prime
 
 
@@ -22,10 +23,21 @@ class CryptoError(Exception):
 
 
 def _egcd(a, b):
-    if a == 0:
-        return b, 0, 1
-    g, x, y = _egcd(b % a, a)
-    return g, y - (b // a) * x, x
+    """Iterative extended Euclid: returns (g, x, y) with a*x + b*y = g.
+
+    Iterative rather than recursive so large moduli (the key-size
+    ablation sweeps well past 1000 bits) can never hit the interpreter
+    recursion limit, and keygen avoids ~bit_length frame allocations.
+    """
+    old_r, r = a, b
+    old_x, x = 1, 0
+    old_y, y = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_x, x = x, old_x - q * x
+        old_y, y = y, old_y - q * y
+    return old_r, old_x, old_y
 
 
 def _modinv(a, m):
@@ -83,14 +95,28 @@ class RsaPublicKey:
 class RsaKeyPair:
     """A private signing key together with its public half."""
 
-    def __init__(self, n, e, d):
+    def __init__(self, n, e, d, p=None, q=None):
         self.public = RsaPublicKey(n, e)
         self._d = d
+        # Precomputed CRT exponents, as every production RSA
+        # implementation keeps: signing modulo p and q separately costs
+        # two half-width modexps (~4x faster) and recombines to the
+        # *same* integer as pow(m, d, n).
+        if p is not None and q is not None:
+            self._crt = (p, q, d % (p - 1), d % (q - 1), _modinv(q, p))
+        else:
+            self._crt = None
 
     def sign(self, digest):
         """Sign a fixed-size digest; returns the signature as an int."""
         block = _pad_digest(digest, self.public.modulus_bytes)
-        return pow(int.from_bytes(block, "big"), self._d, self.public.n)
+        m = int.from_bytes(block, "big")
+        if self._crt is not None and perf.optimized_enabled():
+            p, q, dp, dq, qinv = self._crt
+            mp = pow(m % p, dp, p)
+            mq = pow(m % q, dq, q)
+            return mq + ((mp - mq) * qinv % p) * q
+        return pow(m, self._d, self.public.n)
 
     def __repr__(self):
         return "RsaKeyPair(%d bits)" % self.public.modulus_bits
@@ -118,4 +144,4 @@ def generate_keypair(rng, modulus_bits=300):
         for e in (65537, 257, 17, 5, 3):
             if phi % e != 0:
                 d = _modinv(e, phi)
-                return RsaKeyPair(n, e, d)
+                return RsaKeyPair(n, e, d, p=p, q=q)

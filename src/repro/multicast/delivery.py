@@ -33,7 +33,7 @@ from repro.multicast.messages import (
     MULTICAST_PORT,
     MulticastCodecError,
     RegularMessage,
-    decode_frame,
+    decode_frame_shared,
 )
 from repro.multicast.token import Token
 
@@ -266,7 +266,7 @@ class DeliveryProtocol:
         security = self.config.security
         if security.signatures_enabled:
             if not self.signing.verify(token.sender_id, token.signable_bytes(), token.signature):
-                if self._trace is not None:
+                if self._trace is not None and self._trace.active:
                     self._trace.record(
                         "token.bad_signature", proc=self.my_id, claimed=token.sender_id
                     )
@@ -356,7 +356,7 @@ class DeliveryProtocol:
             and self.circulating
         ):
             self._schedule_origination("token.originate")
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "token.accept",
                 proc=self.my_id,
@@ -496,7 +496,7 @@ class DeliveryProtocol:
         self._strikes = 0
         self._reset_progress_timer()
         self._advance_delivery()
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "token.send",
                 proc=self.my_id,
@@ -627,7 +627,7 @@ class DeliveryProtocol:
             if raw is None:
                 break
             try:
-                message = decode_frame(raw)
+                message = decode_frame_shared(raw)
             except MulticastCodecError:
                 # Stored bytes fail to parse (corrupted without digests):
                 # discard and let retransmission repair it.
@@ -642,7 +642,7 @@ class DeliveryProtocol:
             self.processor.charge(
                 self.config.message_handling_cost, "multicast.deliver", priority=True
             )
-            if self._trace is not None:
+            if self._trace is not None and self._trace.active:
                 self._trace.record(
                     "multicast.deliver",
                     proc=self.my_id,
@@ -668,7 +668,7 @@ class DeliveryProtocol:
             if self.signing.digest(raw) != digest:
                 continue
             try:
-                message = decode_frame(raw)
+                message = decode_frame_shared(raw)
             except MulticastCodecError:
                 continue
             if not isinstance(message, RegularMessage):
@@ -684,7 +684,7 @@ class DeliveryProtocol:
         self.stats["digest_discards"] += 1
         if self._m_token_visits is not None:
             self._m_digest_discards.inc()
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record("multicast.digest_discard", proc=self.my_id, seq=seq)
         return None
 

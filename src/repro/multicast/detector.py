@@ -85,7 +85,7 @@ class ByzantineFaultDetector:
             self._obs.registry.counter(
                 "detector.suspicions", proc=self.my_id, reason=reason
             ).inc()
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "detector.suspect",
                 observer=self.my_id,
@@ -124,7 +124,7 @@ class ByzantineFaultDetector:
             del self._suspicions[proc_id]
         if self._obs is not None:
             self._obs.registry.counter("detector.absolved", proc=self.my_id).inc()
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "detector.absolve",
                 observer=self.my_id,
@@ -151,7 +151,7 @@ class ByzantineFaultDetector:
             return False
         del self._suspicions[proc_id]
         self._episodes.pop(proc_id, None)
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "detector.readmit", observer=self.my_id, suspect=proc_id
             )

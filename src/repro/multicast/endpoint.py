@@ -33,7 +33,7 @@ from repro.multicast.messages import (
     MembershipProposal,
     MulticastCodecError,
     RegularMessage,
-    decode_frame,
+    decode_frame_shared,
 )
 from repro.multicast.token import Token
 
@@ -147,8 +147,11 @@ class SecureGroupEndpoint:
         self._route(datagram.payload)
 
     def _route(self, payload):
+        # A broadcast hands byte-identical payloads to every endpoint:
+        # the shared decode parses each frame once per LAN, not once per
+        # receiver (simulated receive CPU was already charged above).
         try:
-            frame = decode_frame(payload)
+            frame = decode_frame_shared(payload)
         except MulticastCodecError:
             return  # corrupted beyond parsing: dropped, rtr repairs it
         if isinstance(frame, RegularMessage):

@@ -168,7 +168,7 @@ class MembershipEngine:
         if self.config.security.signatures_enabled:
             request.signature = self.signing.sign(request.signable_bytes())
         self.network.broadcast(self.my_id, MULTICAST_PORT, request.encode())
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record("membership.join_request", proc=self.my_id)
         self._join_timer = self.scheduler.after(
             self.config.membership_round_timeout,
@@ -189,7 +189,7 @@ class MembershipEngine:
         if abs(self.scheduler.now - request.request_time) > self.join_request_window:
             return  # stale replay
         if not self.detector.clear_exclusion(request.proc_id):
-            if self._trace is not None:
+            if self._trace is not None and self._trace.active:
                 self._trace.record(
                     "membership.join_refused",
                     proc=self.my_id,
@@ -227,7 +227,7 @@ class MembershipEngine:
         self._silent_rounds = {}
         self._accusations = {}
         self._reset_negotiation_state()
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record("membership.reconfig", proc=self.my_id, ring=self.ring_id)
         if propose:
             self._broadcast_proposal()
@@ -290,7 +290,7 @@ class MembershipEngine:
         self._proposals[self.my_id] = proposal
         self._proposal_raw[self.my_id] = raw
         self.network.broadcast(self.my_id, MULTICAST_PORT, raw)
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "membership.propose",
                 proc=self.my_id,
@@ -369,7 +369,7 @@ class MembershipEngine:
         self.members = tuple(sorted(set(proposal.candidate_set) | {self.my_id}))
         self._round = proposal.round_number
         self._reset_negotiation_state()
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "membership.join_adopt",
                 proc=self.my_id,
@@ -555,7 +555,7 @@ class MembershipEngine:
                     self.scheduler.now - self._reconfig_started_at
                 )
         self._reconfig_started_at = None
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "membership.install",
                 proc=self.my_id,
@@ -578,7 +578,7 @@ class MembershipEngine:
         self._reconfig_started_at = None
         self._cancel_round_timer()
         self.delivery.suspend()
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record("membership.halt", proc=self.my_id, ring=self.ring_id)
 
     # ------------------------------------------------------------------

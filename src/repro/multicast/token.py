@@ -88,51 +88,61 @@ class Token:
     # ------------------------------------------------------------------
 
     def signable_bytes(self):
-        """All fields except the signature, in canonical order."""
+        """All fields except the signature, in canonical order.
+
+        Sequences are emitted with the direct primitive methods
+        (length then elements, structs field by field) — byte-identical
+        to the generic ``("sequence", ...)`` tags this encoding used to
+        be written with, as ``tests/unit/test_token.py`` asserts.
+        """
         encoder = CdrEncoder()
-        encoder.write("ulong", self.sender_id)
-        encoder.write("ulong", self.ring_id)
-        encoder.write("ulonglong", self.visit)
-        encoder.write("ulonglong", self.seq)
-        encoder.write("ulonglong", self.aru)
-        encoder.write("ulong", self.aru_id)
-        encoder.write("ulong", self.successor)
-        encoder.write(("sequence", "ulonglong"), self.rtr_list)
-        encoder.write(("sequence", "ulonglong"), self.rtg_list)
-        encoder.write(
-            ("sequence", DIGEST_ENTRY_TAG),
-            [{"seq": s, "digest": d} for s, d in self.message_digest_list],
-        )
-        encoder.write("octets", self.prev_token_digest)
+        encoder.write_ulong(self.sender_id)
+        encoder.write_ulong(self.ring_id)
+        encoder.write_ulonglong(self.visit)
+        encoder.write_ulonglong(self.seq)
+        encoder.write_ulonglong(self.aru)
+        encoder.write_ulong(self.aru_id)
+        encoder.write_ulong(self.successor)
+        encoder.write_ulong(len(self.rtr_list))
+        for seq in self.rtr_list:
+            encoder.write_ulonglong(seq)
+        encoder.write_ulong(len(self.rtg_list))
+        for seq in self.rtg_list:
+            encoder.write_ulonglong(seq)
+        encoder.write_ulong(len(self.message_digest_list))
+        for seq, digest in self.message_digest_list:
+            encoder.write_ulonglong(seq)
+            encoder.write_octets(digest)
+        encoder.write_octets(self.prev_token_digest)
         return encoder.getvalue()
 
     def encode(self):
         encoder = CdrEncoder()
-        encoder.write("octet", FRAME_TOKEN)
-        encoder.write("octets", self.signable_bytes())
-        encoder.write("octets", _int_to_octets(self.signature))
+        encoder.write_octet(FRAME_TOKEN)
+        encoder.write_octets(self.signable_bytes())
+        encoder.write_octets(_int_to_octets(self.signature))
         return encoder.getvalue()
 
     @classmethod
     def decode(cls, decoder):
-        signable = decoder.read("octets")
-        signature = _octets_to_int(decoder.read("octets"))
+        signable = decoder.read_octets()
+        signature = _octets_to_int(decoder.read_octets())
         inner = CdrDecoder(signable)
         token = cls(
-            sender_id=inner.read("ulong"),
-            ring_id=inner.read("ulong"),
-            visit=inner.read("ulonglong"),
-            seq=inner.read("ulonglong"),
-            aru=inner.read("ulonglong"),
-            aru_id=inner.read("ulong"),
-            successor=inner.read("ulong"),
-            rtr_list=inner.read(("sequence", "ulonglong")),
-            rtg_list=inner.read(("sequence", "ulonglong")),
+            sender_id=inner.read_ulong(),
+            ring_id=inner.read_ulong(),
+            visit=inner.read_ulonglong(),
+            seq=inner.read_ulonglong(),
+            aru=inner.read_ulonglong(),
+            aru_id=inner.read_ulong(),
+            successor=inner.read_ulong(),
+            rtr_list=[inner.read_ulonglong() for _ in range(inner.read_ulong())],
+            rtg_list=[inner.read_ulonglong() for _ in range(inner.read_ulong())],
             message_digest_list=[
-                (entry["seq"], entry["digest"])
-                for entry in inner.read(("sequence", DIGEST_ENTRY_TAG))
+                (inner.read_ulonglong(), inner.read_octets())
+                for _ in range(inner.read_ulong())
             ],
-            prev_token_digest=inner.read("octets"),
+            prev_token_digest=inner.read_octets(),
             signature=signature,
         )
         return token

@@ -18,9 +18,21 @@ signatures can drive marshalling generically:
 * ``("union", (("case_label", branch_tag), ...))`` for IDL unions,
   marshalled as the case ordinal followed by the branch value, and
   represented in Python as ``(case_label, value)`` pairs.
+
+Every primitive also has a direct method (``write_ulong``,
+``read_ulonglong``, ...) compiled against a precompiled
+:class:`struct.Struct`; the wire-format hot paths (GIOP headers,
+multicast frames, tokens) call these instead of the generic
+string-tag dispatch.  Direct methods and generic ``write``/``read``
+produce byte-identical output.  :mod:`repro.perf` can swap in the
+pre-optimisation method suite (``baseline`` mode) so the perf bench can
+measure the fast paths against their original implementations on the
+same host.
 """
 
 import struct
+
+from repro import perf
 
 
 class MarshalError(Exception):
@@ -41,6 +53,13 @@ _PRIMITIVES = {
     "double": ("<d", 8),
 }
 
+#: tag -> (precompiled Struct, size/alignment)
+_STRUCTS = {
+    tag: (struct.Struct(fmt), size) for tag, (fmt, size) in _PRIMITIVES.items()
+}
+
+_PADDING = {n: b"\x00" * n for n in range(1, 8)}
+
 
 class CdrEncoder:
     """Builds a CDR byte string with correct alignment."""
@@ -51,37 +70,7 @@ class CdrEncoder:
     def _align(self, size):
         remainder = len(self._parts) % size
         if remainder:
-            self._parts.extend(b"\x00" * (size - remainder))
-
-    def _write_primitive(self, tag, value):
-        fmt, size = _PRIMITIVES[tag]
-        self._align(size)
-        try:
-            if tag == "boolean":
-                value = 1 if value else 0
-            self._parts.extend(struct.pack(fmt, value))
-        except struct.error as exc:
-            raise MarshalError("cannot marshal %r as %s: %s" % (value, tag, exc))
-
-    def write_ulong(self, value):
-        self._write_primitive("ulong", value)
-        return self
-
-    def write_string(self, value):
-        if not isinstance(value, str):
-            raise MarshalError("string tag requires str, got %r" % type(value))
-        data = value.encode("utf-8")
-        self.write_ulong(len(data) + 1)  # CDR counts the terminating NUL
-        self._parts.extend(data)
-        self._parts.append(0)
-        return self
-
-    def write_octets(self, value):
-        if not isinstance(value, (bytes, bytearray)):
-            raise MarshalError("octets tag requires bytes, got %r" % type(value))
-        self.write_ulong(len(value))
-        self._parts.extend(value)
-        return self
+            self._parts.extend(_PADDING[size - remainder])
 
     def write(self, tag, value):
         """Marshal ``value`` described by type ``tag``."""
@@ -153,46 +142,6 @@ class CdrDecoder:
         if remainder:
             self._pos += size - remainder
 
-    def _read_primitive(self, tag):
-        fmt, size = _PRIMITIVES[tag]
-        self._align(size)
-        end = self._pos + size
-        if end > len(self._data):
-            raise MarshalError("truncated CDR data reading %s" % tag)
-        (value,) = struct.unpack_from(fmt, self._data, self._pos)
-        self._pos = end
-        if tag == "boolean":
-            return bool(value)
-        return value
-
-    def read_ulong(self):
-        return self._read_primitive("ulong")
-
-    def read_string(self):
-        length = self.read_ulong()
-        if length == 0:
-            raise MarshalError("CDR string length must include the NUL")
-        end = self._pos + length
-        if end > len(self._data):
-            raise MarshalError("truncated CDR string")
-        raw = self._data[self._pos : end]
-        self._pos = end
-        if raw[-1:] != b"\x00":
-            raise MarshalError("CDR string missing NUL terminator")
-        try:
-            return raw[:-1].decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise MarshalError("invalid UTF-8 in CDR string: %s" % exc)
-
-    def read_octets(self):
-        length = self.read_ulong()
-        end = self._pos + length
-        if end > len(self._data):
-            raise MarshalError("truncated CDR octet sequence")
-        raw = self._data[self._pos : end]
-        self._pos = end
-        return raw
-
     def read(self, tag):
         """Unmarshal one value described by type ``tag``."""
         if isinstance(tag, tuple):
@@ -237,3 +186,236 @@ class CdrDecoder:
 
     def at_end(self):
         return self._pos >= len(self._data)
+
+
+# ----------------------------------------------------------------------
+# optimised method suite: precompiled Structs, one call per primitive
+# ----------------------------------------------------------------------
+
+def _make_fast_writer(tag):
+    packer, size = _STRUCTS[tag]
+    pack = packer.pack
+    boolean = tag == "boolean"
+
+    def writer(self, value):
+        parts = self._parts
+        remainder = len(parts) % size
+        if remainder:
+            parts.extend(_PADDING[size - remainder])
+        try:
+            if boolean:
+                value = 1 if value else 0
+            parts.extend(pack(value))
+        except struct.error as exc:
+            raise MarshalError("cannot marshal %r as %s: %s" % (value, tag, exc))
+        return self
+
+    writer.__name__ = "write_" + tag
+    return writer
+
+
+def _make_fast_reader(tag):
+    unpacker, size = _STRUCTS[tag]
+    unpack_from = unpacker.unpack_from
+    boolean = tag == "boolean"
+
+    def reader(self):
+        pos = self._pos
+        remainder = pos % size
+        if remainder:
+            pos += size - remainder
+        end = pos + size
+        data = self._data
+        if end > len(data):
+            raise MarshalError("truncated CDR data reading %s" % tag)
+        (value,) = unpack_from(data, pos)
+        self._pos = end
+        if boolean:
+            return bool(value)
+        return value
+
+    reader.__name__ = "read_" + tag
+    return reader
+
+
+_FAST_WRITERS = {tag: _make_fast_writer(tag) for tag in _PRIMITIVES}
+_FAST_READERS = {tag: _make_fast_reader(tag) for tag in _PRIMITIVES}
+
+
+def _fast_write_primitive(self, tag, value):
+    writer = _FAST_WRITERS.get(tag)
+    if writer is None:
+        raise MarshalError("unknown type tag %r" % (tag,))
+    writer(self, value)
+
+
+def _fast_read_primitive(self, tag):
+    reader = _FAST_READERS.get(tag)
+    if reader is None:
+        raise MarshalError("unknown type tag %r" % (tag,))
+    return reader(self)
+
+
+def _fast_write_string(self, value):
+    if not isinstance(value, str):
+        raise MarshalError("string tag requires str, got %r" % type(value))
+    data = value.encode("utf-8")
+    self.write_ulong(len(data) + 1)  # CDR counts the terminating NUL
+    parts = self._parts
+    parts.extend(data)
+    parts.append(0)
+    return self
+
+
+def _fast_write_octets(self, value):
+    if not isinstance(value, (bytes, bytearray)):
+        raise MarshalError("octets tag requires bytes, got %r" % type(value))
+    self.write_ulong(len(value))
+    self._parts.extend(value)
+    return self
+
+
+def _fast_read_string(self):
+    length = self.read_ulong()
+    if length == 0:
+        raise MarshalError("CDR string length must include the NUL")
+    pos = self._pos
+    end = pos + length
+    data = self._data
+    if end > len(data):
+        raise MarshalError("truncated CDR string")
+    if data[end - 1]:
+        raise MarshalError("CDR string missing NUL terminator")
+    self._pos = end
+    try:
+        return data[pos : end - 1].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise MarshalError("invalid UTF-8 in CDR string: %s" % exc)
+
+
+def _fast_read_octets(self):
+    length = self.read_ulong()
+    pos = self._pos
+    end = pos + length
+    if end > len(self._data):
+        raise MarshalError("truncated CDR octet sequence")
+    self._pos = end
+    return self._data[pos:end]
+
+
+# ----------------------------------------------------------------------
+# baseline method suite: the pre-optimisation implementations, kept so
+# the perf bench can measure the fast paths against them (repro.perf)
+# ----------------------------------------------------------------------
+
+def _legacy_write_primitive(self, tag, value):
+    fmt, size = _PRIMITIVES[tag]
+    self._align(size)
+    try:
+        if tag == "boolean":
+            value = 1 if value else 0
+        self._parts.extend(struct.pack(fmt, value))
+    except struct.error as exc:
+        raise MarshalError("cannot marshal %r as %s: %s" % (value, tag, exc))
+
+
+def _legacy_read_primitive(self, tag):
+    fmt, size = _PRIMITIVES[tag]
+    self._align(size)
+    end = self._pos + size
+    if end > len(self._data):
+        raise MarshalError("truncated CDR data reading %s" % tag)
+    (value,) = struct.unpack_from(fmt, self._data, self._pos)
+    self._pos = end
+    if tag == "boolean":
+        return bool(value)
+    return value
+
+
+def _make_legacy_writer(tag):
+    def writer(self, value):
+        self._write_primitive(tag, value)
+        return self
+
+    writer.__name__ = "write_" + tag
+    return writer
+
+
+def _make_legacy_reader(tag):
+    def reader(self):
+        return self._read_primitive(tag)
+
+    reader.__name__ = "read_" + tag
+    return reader
+
+
+def _legacy_write_string(self, value):
+    if not isinstance(value, str):
+        raise MarshalError("string tag requires str, got %r" % type(value))
+    data = value.encode("utf-8")
+    self.write_ulong(len(data) + 1)  # CDR counts the terminating NUL
+    self._parts.extend(data)
+    self._parts.append(0)
+    return self
+
+
+def _legacy_write_octets(self, value):
+    if not isinstance(value, (bytes, bytearray)):
+        raise MarshalError("octets tag requires bytes, got %r" % type(value))
+    self.write_ulong(len(value))
+    self._parts.extend(value)
+    return self
+
+
+def _legacy_read_string(self):
+    length = self.read_ulong()
+    if length == 0:
+        raise MarshalError("CDR string length must include the NUL")
+    end = self._pos + length
+    if end > len(self._data):
+        raise MarshalError("truncated CDR string")
+    raw = self._data[self._pos : end]
+    self._pos = end
+    if raw[-1:] != b"\x00":
+        raise MarshalError("CDR string missing NUL terminator")
+    try:
+        return raw[:-1].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise MarshalError("invalid UTF-8 in CDR string: %s" % exc)
+
+
+def _legacy_read_octets(self):
+    length = self.read_ulong()
+    end = self._pos + length
+    if end > len(self._data):
+        raise MarshalError("truncated CDR octet sequence")
+    raw = self._data[self._pos : end]
+    self._pos = end
+    return raw
+
+
+def _apply_mode(optimized):
+    """Install the optimised or baseline method suite on both classes."""
+    if optimized:
+        CdrEncoder._write_primitive = _fast_write_primitive
+        CdrEncoder.write_string = _fast_write_string
+        CdrEncoder.write_octets = _fast_write_octets
+        CdrDecoder._read_primitive = _fast_read_primitive
+        CdrDecoder.read_string = _fast_read_string
+        CdrDecoder.read_octets = _fast_read_octets
+        for tag in _PRIMITIVES:
+            setattr(CdrEncoder, "write_" + tag, _FAST_WRITERS[tag])
+            setattr(CdrDecoder, "read_" + tag, _FAST_READERS[tag])
+    else:
+        CdrEncoder._write_primitive = _legacy_write_primitive
+        CdrEncoder.write_string = _legacy_write_string
+        CdrEncoder.write_octets = _legacy_write_octets
+        CdrDecoder._read_primitive = _legacy_read_primitive
+        CdrDecoder.read_string = _legacy_read_string
+        CdrDecoder.read_octets = _legacy_read_octets
+        for tag in _PRIMITIVES:
+            setattr(CdrEncoder, "write_" + tag, _make_legacy_writer(tag))
+            setattr(CdrDecoder, "read_" + tag, _make_legacy_reader(tag))
+
+
+perf.register_mode_listener(_apply_mode)

@@ -19,7 +19,7 @@ from repro.orb.giop import (
     REPLY_NO_EXCEPTION,
     REPLY_SYSTEM_EXCEPTION,
     REPLY_USER_EXCEPTION,
-    decode_message,
+    decode_message_shared,
 )
 from repro.orb.idl import IdlError, UserException
 from repro.orb.ior import ObjectReference
@@ -162,7 +162,7 @@ class Orb:
         self.stats["requests_sent"] += 1
         if source_key is None:
             source_key = self._current_source_key
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "orb.request",
                 proc=self.processor.proc_id,
@@ -229,7 +229,9 @@ class Orb:
 
     def _dispatch_frame(self, frame, reply_sink):
         try:
-            message = decode_message(frame)
+            # Replicated deployments dispatch the same voted frame at
+            # every replica of the group: parse once, share.
+            message = decode_message_shared(frame)
         except GiopError:
             return  # malformed frame: dropped
         if isinstance(message, RequestMessage):
@@ -263,7 +265,7 @@ class Orb:
         finally:
             self._current_source_key = previous_source
         self.stats["requests_served"] += 1
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "orb.served",
                 proc=self.processor.proc_id,

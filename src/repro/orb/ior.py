@@ -13,7 +13,7 @@ which is how the paper achieves location transparency for groups.
 class ObjectReference:
     """A portable reference to a CORBA object or object group."""
 
-    __slots__ = ("type_id", "object_key", "host", "port")
+    __slots__ = ("type_id", "object_key", "host", "port", "group_name")
 
     def __init__(self, type_id, object_key, host=None, port="iiop"):
         if isinstance(object_key, str):
@@ -22,11 +22,9 @@ class ObjectReference:
         self.object_key = bytes(object_key)
         self.host = host
         self.port = port
-
-    @property
-    def group_name(self):
-        """The object-group name the Immune system routes by."""
-        return self.object_key.decode("utf-8", errors="replace")
+        #: the object-group name the Immune system routes by (decoded
+        #: once: routing reads it on every intercepted invocation)
+        self.group_name = self.object_key.decode("utf-8", errors="replace")
 
     def __eq__(self, other):
         return (

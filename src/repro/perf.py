@@ -1,0 +1,158 @@
+"""Runtime control of the wall-clock fast paths.
+
+The simulator's hot loop carries several *wall-clock only* optimisations
+— shared fan-out frame decoding, digest and RSA-verify memoisation, and
+precompiled CDR primitive codecs.  None of them may change a single
+simulated timestamp: simulated CPU time is charged by the cost model
+before any cache is consulted, so a cache hit saves host CPU, never
+simulated CPU.  This module is the single switch that turns all of them
+on (``optimized``, the default) or off (``baseline``).
+
+Baseline mode exists for two reasons:
+
+* the perf regression gate (``python -m repro.bench.perf``) measures the
+  optimised hot loop against the pre-optimisation implementations *on
+  the same host*, which is the only portable way to assert a speedup;
+* the determinism gate re-runs a seeded simulation in both modes and
+  asserts the observability export is byte-identical, which proves the
+  caches are invisible to the simulation.
+
+Components register two kinds of hooks:
+
+* ``register_cache(cache)`` — anything with a ``clear()`` method; every
+  registered cache is cleared on each mode switch so timing comparisons
+  start cold and stale cross-mode state cannot accumulate;
+* ``register_mode_listener(fn)`` — called with the new boolean mode on
+  every switch (the CDR module uses this to swap its method suites).
+
+The initial mode can be forced with ``REPRO_PERF_MODE=baseline`` in the
+environment (any other value, or unset, means optimised).
+"""
+
+import os
+
+_OPTIMIZED = os.environ.get("REPRO_PERF_MODE", "optimized") != "baseline"
+
+_CACHES = []
+_MODE_LISTENERS = []
+
+
+def optimized_enabled():
+    """True when the wall-clock fast paths are active."""
+    return _OPTIMIZED
+
+
+def set_optimized(enabled):
+    """Switch between optimised and baseline mode.
+
+    Clears every registered cache and notifies mode listeners even when
+    the mode does not change, so callers can use it to reset state
+    between timed runs.  Returns the previous mode.
+    """
+    global _OPTIMIZED
+    previous = _OPTIMIZED
+    _OPTIMIZED = bool(enabled)
+    clear_caches()
+    for listener in _MODE_LISTENERS:
+        listener(_OPTIMIZED)
+    return previous
+
+
+class _PerfMode:
+    """Context manager restoring the previous mode on exit."""
+
+    def __init__(self, enabled):
+        self._enabled = enabled
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = set_optimized(self._enabled)
+        return self
+
+    def __exit__(self, *exc):
+        set_optimized(self._previous)
+        return False
+
+
+def mode(enabled):
+    """``with perf.mode(False): ...`` — scoped baseline/optimised mode."""
+    return _PerfMode(enabled)
+
+
+def register_cache(cache):
+    """Register anything with ``clear()`` for mode-switch invalidation."""
+    _CACHES.append(cache)
+    return cache
+
+
+def register_mode_listener(fn):
+    """Call ``fn(optimized)`` on every mode switch; fires once now."""
+    _MODE_LISTENERS.append(fn)
+    fn(_OPTIMIZED)
+    return fn
+
+
+def clear_caches():
+    """Empty every registered cache (timing runs start cold)."""
+    for cache in _CACHES:
+        cache.clear()
+
+
+def cache_stats():
+    """Hit/miss/size snapshot of every named cache, keyed by name."""
+    stats = {}
+    for cache in _CACHES:
+        name = getattr(cache, "name", None)
+        if name is not None:
+            stats[name] = cache.stats()
+    return stats
+
+
+class BytesKeyedCache:
+    """A bounded memo table for pure functions of immutable keys.
+
+    Used for the shared fan-out decode and crypto memos: in a broadcast
+    simulation the same frame bytes arrive at every receiver, so the
+    expensive pure computation (CDR decode, MD4, RSA verify) is done
+    once and the result shared.  Corrupted frames differ in bytes and
+    miss naturally.  Eviction drops the oldest half of the entries when
+    the table exceeds ``maxsize`` — insertion order is a good enough
+    proxy for age in a sliding simulation window, and bulk eviction
+    keeps the common-case hit path a single dict lookup.
+    """
+
+    __slots__ = ("name", "maxsize", "hits", "misses", "_table")
+
+    def __init__(self, name, maxsize=8192):
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._table = {}
+
+    def get(self, key, default=None):
+        value = self._table.get(key, default)
+        if value is default:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+    def put(self, key, value):
+        table = self._table
+        if len(table) >= self.maxsize:
+            for stale in list(table)[: self.maxsize // 2]:
+                del table[stale]
+        table[key] = value
+        return value
+
+    def clear(self):
+        self._table.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._table)
+
+    def stats(self):
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._table)}

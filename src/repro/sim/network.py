@@ -64,12 +64,18 @@ class Datagram:
 
 
 def _flip_bytes(payload, rng):
-    """Return ``payload`` with 1-4 random bytes XOR-flipped (never a no-op)."""
+    """Return ``payload`` with 1-4 *distinct* bytes XOR-flipped.
+
+    Indices are drawn without replacement so the count drawn is the
+    count actually corrupted: two flips landing on the same index would
+    otherwise compose (and could even cancel back to the original byte,
+    making "corrupt" a silent no-op).
+    """
     if not payload:
         return payload
     data = bytearray(payload)
-    for _ in range(rng.randint(1, min(4, len(data)))):
-        index = rng.randrange(len(data))
+    count = rng.randint(1, min(4, len(data)))
+    for index in rng.sample(range(len(data)), count):
         data[index] ^= rng.randint(1, 255)
     return bytes(data)
 
@@ -157,7 +163,7 @@ class Network:
         start = max(now, self._medium_free_at)
         end = start + self.params.transmit_time(len(payload))
         self._medium_free_at = end
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record("net.send", src=src_id, dst=dst, port=dst_port, size=len(payload))
         for dst_id in receivers:
             self._schedule_delivery(src_id, dst_id, dst_port, payload, end, now)
@@ -169,7 +175,7 @@ class Network:
             self.stats["dropped"] += 1
             if self._m_frames_sent is not None:
                 self._m_dropped.inc()
-            if self._trace is not None:
+            if self._trace is not None and self._trace.active:
                 self._trace.record("net.drop", src=src_id, dst=dst_id, port=dst_port)
             return
         datagram = Datagram(src_id, dst_id, dst_port, payload, sent_at)
@@ -179,7 +185,7 @@ class Network:
             self.stats["corrupted"] += 1
             if self._m_frames_sent is not None:
                 self._m_corrupted.inc()
-            if self._trace is not None:
+            if self._trace is not None and self._trace.active:
                 self._trace.record("net.corrupt", src=src_id, dst=dst_id, port=dst_port)
         delay = self.params.propagation_delay
         if self.params.jitter and rng is not None:
@@ -201,7 +207,7 @@ class Network:
         self.stats["delivered"] += 1
         if self._m_frames_sent is not None:
             self._m_delivered.inc()
-        if self._trace is not None:
+        if self._trace is not None and self._trace.active:
             self._trace.record(
                 "net.deliver", src=datagram.src, dst=dst_id, port=datagram.dst_port
             )

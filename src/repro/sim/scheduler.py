@@ -11,6 +11,8 @@ consistency checks rely on re-running identical schedules.
 import heapq
 import itertools
 
+from repro import perf
+
 
 class SimulationError(Exception):
     """Raised when the simulation reaches an inconsistent state."""
@@ -19,12 +21,15 @@ class SimulationError(Exception):
 class Event:
     """A scheduled callback.
 
-    Events compare by ``(time, priority, seq)`` so that the heap pops
+    Events order by ``(time, priority, seq)`` so that the heap pops
     them in a deterministic order.  Cancelled events stay in the heap
-    but are skipped when popped (lazy deletion).
+    but are skipped when popped (lazy deletion); the scheduler counts
+    them exactly and compacts the heap when they outnumber the live
+    events, so a timer-heavy workload (every token visit arms and
+    cancels a progress timeout) cannot grow the heap without bound.
     """
 
-    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "label")
+    __slots__ = ("time", "priority", "seq", "fn", "args", "cancelled", "label", "_scheduler")
 
     def __init__(self, time, priority, seq, fn, args, label=""):
         self.time = time
@@ -34,10 +39,17 @@ class Event:
         self.args = args
         self.cancelled = False
         self.label = label
+        #: owning scheduler while the event sits in its heap (cleared on
+        #: pop) — lets ``cancel`` keep the cancelled-count exact
+        self._scheduler = None
 
     def cancel(self):
         """Prevent the event from firing; safe to call more than once."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            scheduler = self._scheduler
+            if scheduler is not None:
+                scheduler._note_cancelled()
 
     def __lt__(self, other):
         return (self.time, self.priority, self.seq) < (
@@ -66,10 +78,20 @@ class Scheduler:
     PRIORITY_TIMER = 20
 
     def __init__(self):
+        #: heap of ``(time, priority, seq, event)`` — ordering by the
+        #: leading scalar triple keeps every heap comparison in C
+        #: (``seq`` is unique, so the event object is never compared).
+        #: In baseline mode the heap holds bare events ordered by
+        #: ``Event.__lt__`` instead, reproducing the pre-optimisation
+        #: cost the perf gate compares against.  The format is fixed
+        #: per instance at construction so a mode flip cannot mix
+        #: entry shapes within one heap.
+        self._tuple_heap = perf.optimized_enabled()
         self._queue = []
         self._seq = itertools.count()
         self._now = 0.0
         self._stopped = False
+        self._cancelled = 0
         self.events_executed = 0
         #: label -> executed count, maintained only while metrics are
         #: attached (keeps the uninstrumented hot loop unchanged)
@@ -87,14 +109,28 @@ class Scheduler:
                 "cannot schedule event at %.9f before now %.9f" % (time, self._now)
             )
         event = Event(time, priority, next(self._seq), fn, args, label)
-        heapq.heappush(self._queue, event)
+        event._scheduler = self
+        if self._tuple_heap:
+            heapq.heappush(self._queue, (time, priority, event.seq, event))
+        else:
+            heapq.heappush(self._queue, event)
         return event
 
     def after(self, delay, fn, *args, priority=PRIORITY_NORMAL, label=""):
         """Schedule ``fn(*args)`` ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError("negative delay %r" % (delay,))
-        return self.at(self._now + delay, fn, *args, priority=priority, label=label)
+        # Inlined ``at`` body: a non-negative delay can never schedule
+        # into the past, and nearly every event in a protocol-heavy run
+        # arrives through this method.
+        time = self._now + delay
+        event = Event(time, priority, next(self._seq), fn, args, label)
+        event._scheduler = self
+        if self._tuple_heap:
+            heapq.heappush(self._queue, (time, priority, event.seq, event))
+        else:
+            heapq.heappush(self._queue, event)
+        return event
 
     def stop(self):
         """Request that ``run`` return before executing the next event."""
@@ -102,7 +138,36 @@ class Scheduler:
 
     def pending(self):
         """Number of non-cancelled events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        return len(self._queue) - self._cancelled
+
+    @property
+    def cancelled_pending(self):
+        """Cancelled events still occupying heap slots (lazy deletion)."""
+        return self._cancelled
+
+    def _note_cancelled(self):
+        """An in-heap event was cancelled; compact if garbage dominates.
+
+        Compaction keeps the heap no more than ~2x the live event count:
+        rebuilding is O(live) and happens at most once per live-count
+        cancellations, so the amortised cost per cancel stays O(1) while
+        pop cost stays O(log live) instead of O(log total-ever-armed).
+        """
+        self._cancelled += 1
+        if self._cancelled * 2 > len(self._queue):
+            self._compact()
+
+    def _compact(self):
+        """Drop cancelled entries and re-heapify the survivors."""
+        if self._tuple_heap:
+            live = [entry for entry in self._queue if not entry[3].cancelled]
+        else:
+            live = [event for event in self._queue if not event.cancelled]
+        # In-place so aliases of the queue (the run loop holds one)
+        # stay valid across a compaction triggered mid-callback.
+        self._queue[:] = live
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # observability
@@ -124,6 +189,7 @@ class Scheduler:
         registry.gauge("scheduler.now").set(self._now)
         registry.gauge("scheduler.queue_depth").set(len(self._queue))
         registry.gauge("scheduler.queue_pending").set(self.pending())
+        registry.gauge("scheduler.queue_cancelled").set(self._cancelled)
         registry.gauge("scheduler.events_executed").set(self.events_executed)
         for label, count in self.events_by_label.items():
             counter = registry.counter("scheduler.events", label=label)
@@ -145,15 +211,20 @@ class Scheduler:
         """
         self._stopped = False
         executed = 0
-        while self._queue and not self._stopped:
+        tuple_heap = self._tuple_heap
+        queue = self._queue  # never rebound (compaction mutates in place)
+        heappop = heapq.heappop
+        while queue and not self._stopped:
             if max_events is not None and executed >= max_events:
                 break
-            event = self._queue[0]
+            event = queue[0][3] if tuple_heap else queue[0]
             if until is not None and event.time > until:
                 self._now = until
                 break
-            heapq.heappop(self._queue)
+            heappop(queue)
+            event._scheduler = None
             if event.cancelled:
+                self._cancelled -= 1
                 continue
             self._now = event.time
             event.fn(*event.args)

@@ -1,0 +1,66 @@
+"""Integration gate: the wall-clock caches are invisible to the simulation.
+
+Runs the Figure-7 full-survivability workload twice from the same seed —
+once with every memo cache and fast path enabled (optimized mode), once
+with the pre-optimisation implementations (baseline mode) — and asserts:
+
+* the simulated results (throughput, message counts, per-category CPU
+  accounting) are exactly equal, and
+* the observability JSONL export is **byte-identical** across modes.
+
+This is the determinism invariant the hot-path overhaul promises: every
+cache saves host CPU only; no simulated timestamp, value, or trace
+record may depend on whether the caches are on.
+"""
+
+from repro import perf
+from repro.bench.harness import run_packet_driver_case
+from repro.bench.perf import _determinism_check
+from repro.core.config import SurvivabilityCase
+
+CASE = SurvivabilityCase.FULL_SURVIVABILITY
+INTERVAL = 300e-6
+SEED = 7
+
+
+def _fingerprint(result):
+    return (
+        result.throughput,
+        result.offered,
+        result.sent,
+        result.received,
+        tuple(sorted(result.cpu.items())),
+    )
+
+
+def test_simulated_results_equal_across_modes():
+    fingerprints = {}
+    for optimized in (False, True):
+        with perf.mode(optimized):
+            result = run_packet_driver_case(
+                CASE, INTERVAL, duration=0.06, warmup=0.03, seed=SEED
+            )
+            fingerprints[optimized] = _fingerprint(result)
+    assert fingerprints[False] == fingerprints[True]
+
+
+def test_obs_export_byte_identical_caches_on_and_off():
+    """The shipped gate's own determinism check passes: a seeded run's
+    observability export has the same bytes with caches on and off."""
+    outcome = _determinism_check()
+    assert outcome["jsonl_identical"], "obs export differs between modes"
+    assert outcome["sim_equal"], "simulated results differ between modes"
+    assert outcome["jsonl_lines"] > 0
+
+
+def test_repeated_optimized_runs_are_identical():
+    """Same seed, same mode, twice in one process: memo state left over
+    from the first run must not leak into the second."""
+    fingerprints = []
+    for _ in range(2):
+        with perf.mode(True):
+            result = run_packet_driver_case(
+                CASE, INTERVAL, duration=0.06, warmup=0.03, seed=SEED
+            )
+            fingerprints.append(_fingerprint(result))
+    assert fingerprints[0] == fingerprints[1]

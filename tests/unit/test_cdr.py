@@ -191,3 +191,158 @@ def test_decoder_position_tracking():
     assert not decoder.at_end()
     decoder.read("ulong")
     assert decoder.at_end()
+
+
+# ----------------------------------------------------------------------
+# alignment edge cases and fast-path/baseline equivalence
+# ----------------------------------------------------------------------
+
+from repro import perf  # noqa: E402  (grouped with the tests that use it)
+
+PRIMITIVE_SAMPLES = {
+    "boolean": True,
+    "octet": 0xA5,
+    "short": -31000,
+    "ushort": 61000,
+    "long": -2_000_000_000,
+    "ulong": 4_000_000_000,
+    "longlong": -(2**62),
+    "ulonglong": 2**63,
+    "float": 1.5,
+    "double": -2.25,
+}
+
+SIZES = {
+    "boolean": 1,
+    "octet": 1,
+    "short": 2,
+    "ushort": 2,
+    "long": 4,
+    "ulong": 4,
+    "longlong": 8,
+    "ulonglong": 8,
+    "float": 4,
+    "double": 8,
+}
+
+
+@pytest.mark.parametrize("tag", sorted(PRIMITIVE_SAMPLES))
+@pytest.mark.parametrize("offset", range(1, 8))
+def test_primitive_alignment_at_every_odd_offset(tag, offset):
+    """Each primitive pads to its natural alignment from any offset."""
+    value = PRIMITIVE_SAMPLES[tag]
+    size = SIZES[tag]
+    encoder = CdrEncoder()
+    for _ in range(offset):
+        encoder.write("octet", 0xEE)
+    encoder.write(tag, value)
+    data = encoder.getvalue()
+    aligned = offset + (-offset % size)
+    assert len(data) == aligned + size
+    assert data[offset:aligned] == b"\x00" * (aligned - offset)
+    decoder = CdrDecoder(data)
+    for _ in range(offset):
+        assert decoder.read("octet") == 0xEE
+    assert decoder.read(tag) == value
+    assert decoder.at_end()
+
+
+@pytest.mark.parametrize("offset", range(1, 8))
+def test_empty_string_and_octets_at_odd_offsets(offset):
+    encoder = CdrEncoder()
+    for _ in range(offset):
+        encoder.write("octet", 1)
+    encoder.write("string", "")
+    encoder.write("octets", b"")
+    encoder.write("ulong", 7)
+    data = encoder.getvalue()
+    decoder = CdrDecoder(data)
+    for _ in range(offset):
+        decoder.read("octet")
+    assert decoder.read("string") == ""
+    assert decoder.read("octets") == b""
+    assert decoder.read("ulong") == 7
+    assert decoder.at_end()
+
+
+def test_nested_struct_sequence_alignment():
+    """Interior padding of composites survives a roundtrip from offset 1."""
+    inner = ("struct", (("flag", "octet"), ("weight", "double")))
+    tag = (
+        "struct",
+        (
+            ("kind", "octet"),
+            ("items", ("sequence", inner)),
+            ("tail", "ushort"),
+        ),
+    )
+    value = {
+        "kind": 3,
+        "items": [
+            {"flag": 1, "weight": 0.5},
+            {"flag": 0, "weight": -1.25},
+            {"flag": 7, "weight": 1e9},
+        ],
+        "tail": 513,
+    }
+    encoder = CdrEncoder()
+    encoder.write("octet", 0xFF)  # start the composite at offset 1
+    encoder.write(tag, value)
+    decoder = CdrDecoder(encoder.getvalue())
+    assert decoder.read("octet") == 0xFF
+    assert decoder.read(tag) == value
+    assert decoder.at_end()
+
+
+def _encode_mixed_stream():
+    """One encoder fed every primitive (direct methods) at shifting offsets."""
+    encoder = CdrEncoder()
+    encoder.write_octet(1)
+    for tag in sorted(PRIMITIVE_SAMPLES):
+        getattr(encoder, "write_" + tag)(PRIMITIVE_SAMPLES[tag])
+        encoder.write_octet(2)  # de-align before the next primitive
+    encoder.write_string("odd-offset string")
+    encoder.write_octets(b"\x00\x01\x02")
+    encoder.write("string", "")
+    return encoder.getvalue()
+
+
+def _decode_mixed_stream(data):
+    decoder = CdrDecoder(data)
+    values = [decoder.read_octet()]
+    for tag in sorted(PRIMITIVE_SAMPLES):
+        values.append(getattr(decoder, "read_" + tag)())
+        values.append(decoder.read_octet())
+    values.append(decoder.read_string())
+    values.append(decoder.read_octets())
+    values.append(decoder.read("string"))
+    assert decoder.at_end()
+    return values
+
+
+def test_fast_paths_byte_identical_to_baseline():
+    """The precompiled method suite emits the bytes the generic one does."""
+    with perf.mode(True):
+        fast_bytes = _encode_mixed_stream()
+        fast_values = _decode_mixed_stream(fast_bytes)
+    with perf.mode(False):
+        baseline_bytes = _encode_mixed_stream()
+        baseline_values = _decode_mixed_stream(baseline_bytes)
+    assert fast_bytes == baseline_bytes
+    assert fast_values == baseline_values
+    # cross-mode: bytes written by one suite decode under the other
+    with perf.mode(False):
+        assert _decode_mixed_stream(fast_bytes) == fast_values
+    with perf.mode(True):
+        assert _decode_mixed_stream(baseline_bytes) == baseline_values
+
+
+def test_direct_methods_match_generic_write():
+    for tag, value in PRIMITIVE_SAMPLES.items():
+        direct = CdrEncoder()
+        getattr(direct, "write_" + tag)(value)
+        generic = CdrEncoder().write(tag, value)
+        assert direct.getvalue() == generic.getvalue(), tag
+        assert getattr(CdrDecoder(direct.getvalue()), "read_" + tag)() == (
+            CdrDecoder(generic.getvalue()).read(tag)
+        )

@@ -73,3 +73,27 @@ def test_duplicate_filter_counts():
     assert dup.is_delivered(("g", 0))
     assert not dup.is_delivered(("g", 7))
     assert len(dup) == 2
+
+
+def test_immune_message_template_encode_matches_generic():
+    """The template fast path is byte-identical to the generic encoder
+    for every (op_num, body) variation of a fixed routing key."""
+    from repro import perf
+
+    with perf.mode(True):
+        for op_num in (0, 1, 42, 2**64 - 1):
+            for body in (b"", b"\x01", b"frame-bytes" * 9):
+                for kind in (KIND_INVOCATION, KIND_RESPONSE):
+                    msg = ImmuneMessage(kind, "client", op_num, 3, "server", body)
+                    assert msg.encode() == msg._encode()
+
+
+def test_immune_message_encode_identical_across_modes():
+    from repro import perf
+
+    msg = ImmuneMessage(KIND_INVOCATION, "c", 7, 1, "s", b"payload")
+    with perf.mode(True):
+        fast = msg.encode()
+    with perf.mode(False):
+        baseline = msg.encode()
+    assert fast == baseline

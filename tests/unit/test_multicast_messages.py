@@ -95,3 +95,24 @@ def test_corrupted_frame_usually_fails_or_differs():
     raw[-1] ^= 0xFF  # flip a payload byte
     decoded = decode_frame(bytes(raw))
     assert decoded.payload != b"hello"
+
+
+def test_regular_message_template_encode_matches_generic():
+    from repro import perf
+
+    with perf.mode(True):
+        for seq in (0, 1, 1000, 2**64 - 1):
+            for payload in (b"", b"\xab" * 64, b"odd\x00len\x01"):
+                msg = RegularMessage(2, 4, seq, "server", payload)
+                assert msg.encode() == msg._encode()
+
+
+def test_regular_message_encode_identical_across_modes():
+    from repro import perf
+
+    msg = RegularMessage(1, 9, 55, "group", b"\xab" * 16)
+    with perf.mode(True):
+        fast = msg.encode()
+    with perf.mode(False):
+        baseline = msg.encode()
+    assert fast == baseline

@@ -161,3 +161,34 @@ def test_trace_records_send_and_deliver():
     sched.run()
     assert trace.count("net.send") == 1
     assert trace.count("net.deliver") == 1
+
+
+# ----------------------------------------------------------------------
+# corruption injection internals
+# ----------------------------------------------------------------------
+
+import random  # noqa: E402
+
+from repro.sim.network import _flip_bytes  # noqa: E402
+
+
+def test_flip_bytes_changes_one_to_four_distinct_bytes():
+    """Indices are sampled without replacement: the number of bytes drawn
+    is the number actually changed, and no flip can cancel another."""
+    rng = random.Random(42)
+    for _ in range(200):
+        original = bytes(64)
+        flipped = _flip_bytes(original, rng)
+        assert len(flipped) == 64
+        changed = sum(1 for a, b in zip(original, flipped) if a != b)
+        assert 1 <= changed <= 4
+
+
+def test_flip_bytes_single_byte_payload_always_changes():
+    rng = random.Random(7)
+    for _ in range(50):
+        assert _flip_bytes(b"\x5a", rng) != b"\x5a"
+
+
+def test_flip_bytes_empty_payload_is_noop():
+    assert _flip_bytes(b"", random.Random(1)) == b""

@@ -1,0 +1,73 @@
+"""Unit tests for the perf mode switch and its memo cache."""
+
+from repro import perf
+from repro.perf import BytesKeyedCache
+
+
+def test_mode_context_restores_previous_mode():
+    initial = perf.optimized_enabled()
+    with perf.mode(not initial):
+        assert perf.optimized_enabled() is (not initial)
+        with perf.mode(initial):
+            assert perf.optimized_enabled() is initial
+        assert perf.optimized_enabled() is (not initial)
+    assert perf.optimized_enabled() is initial
+
+
+def test_mode_restored_after_exception():
+    initial = perf.optimized_enabled()
+    try:
+        with perf.mode(not initial):
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert perf.optimized_enabled() is initial
+
+
+def test_register_mode_listener_fires_immediately_and_on_switch():
+    calls = []
+    perf.register_mode_listener(calls.append)
+    assert calls == [perf.optimized_enabled()]
+    with perf.mode(False):
+        assert calls[-1] is False
+    assert calls[-1] is perf.optimized_enabled()
+
+
+def test_mode_switch_clears_registered_caches():
+    cache = perf.register_cache(BytesKeyedCache("test.switch", 16))
+    cache.put(b"k", 1)
+    assert len(cache) == 1
+    with perf.mode(perf.optimized_enabled()):  # even a same-mode entry clears
+        assert len(cache) == 0
+
+
+def test_bytes_keyed_cache_hit_miss_accounting():
+    cache = BytesKeyedCache("test.stats", 16)
+    assert cache.get(b"a") is None
+    cache.put(b"a", "va")
+    assert cache.get(b"a") == "va"
+    assert cache.get(b"b", "default") == "default"
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 2
+    assert stats["size"] == 1
+
+
+def test_bytes_keyed_cache_evicts_oldest_half_when_full():
+    cache = BytesKeyedCache("test.evict", 8)
+    for i in range(9):
+        cache.put(("k", i), i)
+    assert len(cache) <= 8
+    # the newest entry always survives an eviction
+    assert cache.get(("k", 8)) == 8
+    # the oldest entries are the ones dropped
+    assert cache.get(("k", 0)) is None
+
+
+def test_cache_stats_reports_registered_named_caches():
+    cache = perf.register_cache(BytesKeyedCache("test.snapshot", 4))
+    cache.put(b"x", 1)
+    cache.get(b"x")
+    stats = perf.cache_stats()
+    assert stats["test.snapshot"]["hits"] == 1
+    assert stats["test.snapshot"]["misses"] == 0

@@ -92,3 +92,26 @@ def test_is_probable_prime_on_known_values():
     assert not is_probable_prime(0, rng)
     assert not is_probable_prime(561, rng)  # Carmichael number
     assert not is_probable_prime(2**61 + 1, rng)
+
+
+def test_crt_signature_equals_plain_exponentiation(keypair):
+    """CRT signing (optimized mode) produces the exact same signature as
+    the plain ``pow(m, d, n)`` path (baseline mode)."""
+    from repro import perf
+
+    digest = md4_digest(b"crt equivalence check")
+    with perf.mode(True):
+        fast = keypair.sign(digest)
+    with perf.mode(False):
+        plain = keypair.sign(digest)
+    assert fast == plain
+    assert keypair.public.verify(digest, fast)
+
+
+def test_crt_signatures_verify_across_many_digests(keypair):
+    from repro import perf
+
+    with perf.mode(True):
+        for i in range(10):
+            digest = md4_digest(b"msg %d" % i)
+            assert keypair.public.verify(digest, keypair.sign(digest))

@@ -105,3 +105,28 @@ def test_well_formed_rejects(overrides):
 def test_well_formed_accepts_no_aru_id_sentinel():
     token = make_token(aru_id=Token.NO_ARU_ID)
     assert token.well_formed(MEMBERS)
+
+
+def test_signable_bytes_match_generic_sequence_tags():
+    """The direct-method encoding equals the generic-tag encoding it
+    replaced (the byte-identity `Token.signable_bytes` promises)."""
+    from repro.orb.cdr import CdrEncoder
+
+    token = make_token()
+    generic = CdrEncoder()
+    generic.write("ulong", token.sender_id)
+    generic.write("ulong", token.ring_id)
+    generic.write("ulonglong", token.visit)
+    generic.write("ulonglong", token.seq)
+    generic.write("ulonglong", token.aru)
+    generic.write("ulong", token.aru_id)
+    generic.write("ulong", token.successor)
+    generic.write(("sequence", "ulonglong"), token.rtr_list)
+    generic.write(("sequence", "ulonglong"), token.rtg_list)
+    digest_struct = ("struct", (("seq", "ulonglong"), ("digest", "octets")))
+    generic.write(
+        ("sequence", digest_struct),
+        [{"seq": s, "digest": d} for s, d in token.message_digest_list],
+    )
+    generic.write("octets", token.prev_token_digest)
+    assert token.signable_bytes() == generic.getvalue()
