@@ -69,6 +69,7 @@ def run_packet_driver_case(
     messages_per_token_visit=6,
     config=None,
     obs=None,
+    fault_plan=None,
 ):
     """Measure server throughput for one (case, interval) point.
 
@@ -77,6 +78,10 @@ def run_packet_driver_case(
     the client).  Passing an :class:`~repro.obs.Observability` attaches
     the metrics registry and span tracker to the run and publishes the
     measured throughput into it alongside the protocol counters.
+    Passing a :class:`~repro.sim.faults.FaultPlan` measures throughput
+    *under* the injected faults; combined with an ``obs`` carrying a
+    :class:`~repro.obs.forensics.ForensicsHub`, the run yields a full
+    fault-attribution timeline next to the performance numbers.
     """
     if config is None:
         config = ImmuneConfig(
@@ -91,6 +96,7 @@ def run_packet_driver_case(
     immune = ImmuneSystem(
         num_processors=num_processors,
         config=config,
+        fault_plan=fault_plan,
         trace_kinds=frozenset(),
         trace_max_records=10_000,
         obs=obs,

@@ -140,6 +140,14 @@ class ImmuneSystem:
                 orb.set_transport(DirectTransport(self.network))
         if fault_plan is not None:
             fault_plan.arm_crashes(self.scheduler, self.processors)
+            if obs is not None and getattr(obs, "forensics", None) is not None:
+                for fault in fault_plan.ground_truth():
+                    obs.forensics.record_ground_truth(
+                        fault["fault_id"],
+                        fault["kind"],
+                        fault["culprit"],
+                        fault["time"],
+                    )
         if obs is not None:
             obs.registry.add_collector(self._collect_cpu_metrics)
 

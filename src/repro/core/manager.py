@@ -91,6 +91,7 @@ class ReplicationManager:
             endpoint.report_value_fault_suspect,
             trace,
             self.my_id,
+            obs=obs,
         )
         self.stats = {
             "invocations_sent": 0,

@@ -79,11 +79,19 @@ class ValueFaultVote:
 class ValueFaultDetector:
     """Correlates Value_Fault_Vote messages into processor suspicions."""
 
-    def __init__(self, group_table, suspect_cb, trace=None, my_id=None):
+    def __init__(self, group_table, suspect_cb, trace=None, my_id=None, obs=None):
         self._groups = group_table
         self._suspect_cb = suspect_cb
         self._trace = trace
         self._my_id = my_id
+        if (
+            obs is not None
+            and my_id is not None
+            and getattr(obs, "forensics", None) is not None
+        ):
+            self._forensics = obs.forensics.recorder(my_id)
+        else:
+            self._forensics = None
         self._processed = set()
         self.stats = {"votes": 0, "suspected": 0, "duplicates": 0}
 
@@ -121,6 +129,14 @@ class ValueFaultDetector:
                 corrupt |= senders
         for proc_id in sorted(corrupt):
             self.stats["suspected"] += 1
+            if self._forensics is not None:
+                self._forensics.record(
+                    "value_fault_convict",
+                    suspect=proc_id,
+                    source_group=vote.source_group,
+                    op_num=vote.op_num,
+                    winning_digest=winner,
+                )
             if self._trace is not None and self._trace.active:
                 self._trace.record(
                     "value_fault.suspect",

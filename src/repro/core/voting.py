@@ -76,6 +76,14 @@ class Voter:
             )
         else:
             self._m_copies = None
+        if (
+            obs is not None
+            and proc_id is not None
+            and getattr(obs, "forensics", None) is not None
+        ):
+            self._forensics = obs.forensics.recorder(proc_id)
+        else:
+            self._forensics = None
 
     def add_copy(self, source_group, op_num, sender, body):
         """Tally one copy; returns VoteDecision, LateFault, or None."""
@@ -100,6 +108,16 @@ class Voter:
                 self._m_mismatches.inc()
             vote_set = vote_set + ((sender, digest),)
             self._decided[op_key] = (winning_digest, vote_set)
+            if self._forensics is not None:
+                self._forensics.record(
+                    "vote_divergence",
+                    culprit=sender,
+                    culprit_digest=digest,
+                    winning_digest=winning_digest,
+                    group=self.target_group,
+                    op=op_key,
+                    late=True,
+                )
             return LateFault(op_key, sender, digest, vote_set)
 
         entry = self._pending.setdefault(op_key, {"by_digest": {}, "body": {}})
@@ -130,6 +148,19 @@ class Voter:
             self.stats["faults_seen"] += len(faulty)
             if self._m_copies is not None:
                 self._m_mismatches.inc(len(faulty))
+            if self._forensics is not None:
+                for sender in sorted(faulty):
+                    for digest in sorted(entry["by_digest"]):
+                        if sender in entry["by_digest"][digest]:
+                            self._forensics.record(
+                                "vote_divergence",
+                                culprit=sender,
+                                culprit_digest=digest,
+                                winning_digest=winner,
+                                group=self.target_group,
+                                op=op_key,
+                                late=False,
+                            )
         body = entry["body"][winner]
         del self._pending[op_key]
         self._decided[op_key] = (winner, tuple(vote_set))

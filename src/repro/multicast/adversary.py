@@ -18,16 +18,35 @@ from repro.multicast.token import Token
 
 
 class ByzantineBehaviour:
-    """Base class: remembers what it compromised for reporting."""
+    """Base class: remembers what it compromised for reporting.
+
+    Compromising an endpoint assigns the behaviour a stable
+    ``fault_id`` (a pure function of fault kind, culprit, and
+    activation time) and, when the endpoint carries a forensics hub,
+    registers the injection as scorecard ground truth — the join
+    between injected faults and detector output is deterministic
+    across runs and perf modes.
+    """
 
     name = "byzantine"
 
     def __init__(self):
         self.endpoint = None
         self.activations = 0
+        self.fault_id = None
 
     def compromise(self, endpoint):
         self.endpoint = endpoint
+        from repro.obs.forensics import fault_id_for
+
+        culprit = endpoint.processor.proc_id
+        at_time = getattr(self, "at_time", 0.0)
+        self.fault_id = fault_id_for(self.name, culprit, at_time)
+        obs = getattr(endpoint, "obs", None)
+        if obs is not None and getattr(obs, "forensics", None) is not None:
+            obs.forensics.record_ground_truth(
+                self.fault_id, self.name, culprit, at_time
+            )
         self._install(endpoint)
         return self
 

@@ -138,6 +138,15 @@ class DeliveryProtocol:
             registry.add_collector(self._collect_metrics)
         else:
             self._m_token_visits = None
+        # Forensic flight recorder (repro.obs.forensics): resolved once
+        # here so every hot-path site pays a single None check.
+        if obs is not None and getattr(obs, "forensics", None) is not None:
+            self._forensics = obs.forensics.recorder(self.my_id)
+        else:
+            self._forensics = None
+        #: mutant evidence already recorded, keyed (ring, visit, holder):
+        #: evidence rebroadcasts re-present the same mutant many times
+        self._forensic_mutants = set()
 
     def _collect_metrics(self, registry):
         pid = self.my_id
@@ -176,6 +185,8 @@ class DeliveryProtocol:
         self._last_activity = self.scheduler.now
         self._parked_origination = None
         self._recent_arus = deque(maxlen=max(len(self.members), 2))
+        if self._forensics is not None:
+            self._forensics.set_context(ring=ring_id, seq=start_seq)
         self._reset_progress_timer()
         if self.my_id == self.members[0]:
             self._schedule_origination("token.first")
@@ -281,6 +292,17 @@ class DeliveryProtocol:
                 return
             # Two different tokens for the same visit: a mutant.  With
             # signatures both are provably from the same holder.
+            if self._forensics is not None:
+                mutant_key = (self.ring_id, token.visit, token.sender_id)
+                if mutant_key not in self._forensic_mutants:
+                    self._forensic_mutants.add(mutant_key)
+                    self._forensics.record(
+                        "mutant_token",
+                        holder=token.sender_id,
+                        visit=token.visit,
+                        stored_digest=self._digest_of(stored),
+                        mutant_digest=self._digest_of(raw),
+                    )
             self.detector.suspect(token.sender_id, "mutant_token")
             self._rebroadcast_evidence(token.visit)
             return
@@ -299,6 +321,15 @@ class DeliveryProtocol:
         ):
             # The chain contradicts the predecessor we hold: someone
             # equivocated.  Publish our copy so everyone can compare.
+            if self._forensics is not None:
+                self._forensics.record(
+                    "digest_mismatch",
+                    scope="token_chain",
+                    holder=token.sender_id,
+                    visit=token.visit,
+                    claimed_prev=token.prev_token_digest,
+                    stored_prev=self._digest_of(self._last_accepted_raw),
+                )
             self._rebroadcast_evidence(previous.visit)
             return
         self._accept_token(token, raw)
@@ -336,6 +367,9 @@ class DeliveryProtocol:
         self.stats["token_visits"] += 1
         if self._m_token_visits is not None:
             self._m_token_visits.inc()
+        if self._forensics is not None:
+            self._forensics.set_context(seq=token.seq)
+            self._forensics.record("token_receive", **token.forensic_summary())
         if self.config.security.digests_enabled:
             for seq, digest in token.message_digest_list:
                 self._digest_by_seq[seq] = (digest, token.sender_id)
@@ -492,6 +526,9 @@ class DeliveryProtocol:
             # per-processor origination count *is* its rotation count.
             self._m_token_visits.inc()
             self._m_rotations.inc()
+        if self._forensics is not None:
+            self._forensics.set_context(seq=token.seq)
+            self._forensics.record("token_send", **token.forensic_summary())
         self._pending_rtr.clear()
         self._strikes = 0
         self._reset_progress_timer()
@@ -639,6 +676,13 @@ class DeliveryProtocol:
             self.stats["delivered"] += 1
             if self._m_token_visits is not None:
                 self._m_delivered.inc()
+            if self._forensics is not None:
+                self._forensics.record(
+                    "delivery_commit",
+                    commit_seq=seq,
+                    sender=message.sender_id,
+                    group=message.dest_group,
+                )
             self.processor.charge(
                 self.config.message_handling_cost, "multicast.deliver", priority=True
             )
@@ -684,6 +728,15 @@ class DeliveryProtocol:
         self.stats["digest_discards"] += 1
         if self._m_token_visits is not None:
             self._m_digest_discards.inc()
+        if self._forensics is not None:
+            self._forensics.record(
+                "digest_mismatch",
+                scope="message",
+                mismatch_seq=seq,
+                expected_digest=digest,
+                token_sender=token_sender,
+                variants=len(variants),
+            )
         if self._trace is not None and self._trace.active:
             self._trace.record("multicast.digest_discard", proc=self.my_id, seq=seq)
         return None
@@ -748,6 +801,10 @@ class DeliveryProtocol:
         ):
             # We hold the most recent token: retransmit it in case it
             # was lost on its way to the successor.
+            if self._forensics is not None:
+                self._forensics.record(
+                    "token_regenerate", visit=newest.visit, strike=self._strikes
+                )
             self.network.broadcast(self.my_id, MULTICAST_PORT, self._last_accepted_raw)
             self._reset_progress_timer()
             return

@@ -56,6 +56,10 @@ class ByzantineFaultDetector:
         self.scheduler = scheduler
         self._trace = trace
         self._obs = obs
+        if obs is not None and getattr(obs, "forensics", None) is not None:
+            self._forensics = obs.forensics.recorder(my_id)
+        else:
+            self._forensics = None
         self._suspicions = {}
         self._listeners = []
         #: timeout-suspicion episodes per processor: "repeatedly fails"
@@ -85,6 +89,14 @@ class ByzantineFaultDetector:
             self._obs.registry.counter(
                 "detector.suspicions", proc=self.my_id, reason=reason
             ).inc()
+        if self._forensics is not None:
+            self._forensics.record(
+                "suspect",
+                suspect=proc_id,
+                reason=reason,
+                provable=reason in PROVABLE_REASONS,
+                new=is_new_processor,
+            )
         if self._trace is not None and self._trace.active:
             self._trace.record(
                 "detector.suspect",
@@ -124,6 +136,13 @@ class ByzantineFaultDetector:
             del self._suspicions[proc_id]
         if self._obs is not None:
             self._obs.registry.counter("detector.absolved", proc=self.my_id).inc()
+        if self._forensics is not None:
+            self._forensics.record(
+                "absolve",
+                suspect=proc_id,
+                cleared=tuple(sorted(transient)),
+                fully=fully,
+            )
         if self._trace is not None and self._trace.active:
             self._trace.record(
                 "detector.absolve",
@@ -160,6 +179,8 @@ class ByzantineFaultDetector:
     def value_fault_suspect(self, proc_id):
         """Entry point for the Replication Manager's Value_Fault_Suspect
         notification (never transmitted on the network)."""
+        if self._forensics is not None:
+            self._forensics.record("value_fault_suspect", suspect=proc_id)
         self.suspect(proc_id, "value_fault")
 
     def is_suspected(self, proc_id):

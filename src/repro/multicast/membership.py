@@ -126,6 +126,10 @@ class MembershipEngine:
             )
         else:
             self._m_reconfigs = None
+        if obs is not None and getattr(obs, "forensics", None) is not None:
+            self._forensics = obs.forensics.recorder(self.my_id)
+        else:
+            self._forensics = None
 
         detector.on_change(self._on_suspicion)
         delivery.coverage_listener = self.notify_coverage
@@ -154,6 +158,8 @@ class MembershipEngine:
         self.joining = True
         self.state = STATE_RECONFIG
         self._reconfig_started_at = self.scheduler.now
+        if self._forensics is not None:
+            self._forensics.record("reconfig_begin", joining=True)
         self.delivery.suspend()
         self._round = 0
         self._silent_rounds = {}
@@ -197,6 +203,8 @@ class MembershipEngine:
                 )
             return  # convicted Byzantine processors stay out
         self._join_candidates[request.proc_id] = self.scheduler.now
+        if self._forensics is not None:
+            self._forensics.record("membership_join", joiner=request.proc_id)
         if self.state == STATE_STABLE:
             self._begin_reconfiguration()
 
@@ -218,6 +226,12 @@ class MembershipEngine:
     def _begin_reconfiguration(self, propose=True):
         self.state = STATE_RECONFIG
         self._reconfig_started_at = self.scheduler.now
+        if self._forensics is not None:
+            self._forensics.record(
+                "reconfig_begin",
+                joining=False,
+                suspects=sorted(self.detector.suspects() & set(self.members)),
+            )
         if self._m_reconfigs is not None:
             self._m_reconfigs.inc()
             self._m_rounds.inc()
@@ -555,6 +569,14 @@ class MembershipEngine:
                     self.scheduler.now - self._reconfig_started_at
                 )
         self._reconfig_started_at = None
+        if self._forensics is not None:
+            self._forensics.set_context(ring=new_ring_id, seq=cut)
+            self._forensics.record(
+                "membership_install",
+                members=self.members,
+                excluded=excluded,
+                cut=cut,
+            )
         if self._trace is not None and self._trace.active:
             self._trace.record(
                 "membership.install",
@@ -576,6 +598,8 @@ class MembershipEngine:
         """
         self.state = STATE_HALTED
         self._reconfig_started_at = None
+        if self._forensics is not None:
+            self._forensics.record("membership_halt")
         self._cancel_round_timer()
         self.delivery.suspend()
         if self._trace is not None and self._trace.active:

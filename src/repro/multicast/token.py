@@ -187,6 +187,18 @@ class Token:
             return False
         return True
 
+    def forensic_summary(self):
+        """Compact field dict for the forensic flight recorder."""
+        return {
+            "holder": self.sender_id,
+            "visit": self.visit,
+            "token_seq": self.seq,
+            "aru": self.aru,
+            "successor": self.successor,
+            "rtr": len(self.rtr_list),
+            "digests": len(self.message_digest_list),
+        }
+
     def __repr__(self):
         return "Token(P%d, ring=%d, visit=%d, seq=%d, aru=%d, ->P%d)" % (
             self.sender_id,

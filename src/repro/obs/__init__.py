@@ -31,19 +31,26 @@ from repro.obs.spans import SPAN_STAGES, InvocationSpan, SpanTracker
 
 
 class Observability:
-    """One deployment's metrics registry plus invocation span tracker."""
+    """One deployment's metrics registry, span tracker, and (optionally)
+    the survivability-forensics hub of per-processor flight recorders
+    (:mod:`repro.obs.forensics`).  ``forensics`` stays ``None`` unless a
+    :class:`~repro.obs.forensics.ForensicsHub` is supplied, so ordinary
+    runs pay nothing for the recorder hooks."""
 
-    def __init__(self, registry=None, spans=None, max_spans=None):
+    def __init__(self, registry=None, spans=None, max_spans=None, forensics=None):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.spans = (
             spans
             if spans is not None
             else SpanTracker(registry=self.registry, max_spans=max_spans)
         )
+        self.forensics = forensics
 
     def bind(self, scheduler):
         """Attach the simulation's scheduler as the time source."""
         self.spans.bind(scheduler)
+        if self.forensics is not None:
+            self.forensics.bind(scheduler)
         return self
 
 

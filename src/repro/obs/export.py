@@ -145,6 +145,12 @@ def summarize(obs, crypto_costs=None):
     }
     if crypto_costs is not None:
         summary["crypto"]["calibration"] = crypto_costs.describe()
+    if getattr(obs, "forensics", None) is not None:
+        from repro.obs.forensics import recorder_summary
+
+        # Flight-recorder buffer health (event/drop counts) only; the
+        # full timeline/scorecard report is the forensics CLI's output.
+        summary["forensics"] = recorder_summary(obs.forensics)
     return summary
 
 

@@ -1,0 +1,895 @@
+"""Survivability forensics: causal flight recorder, fault attribution,
+and detector-accuracy scoring.
+
+The metrics layer (:mod:`repro.obs.metrics`) answers "how many"; this
+module answers the survivability-analysis questions — *which replica
+lied, when was it suspected, and how long did the ring take to heal?*
+Three pieces:
+
+* a per-processor :class:`FlightRecorder` — a bounded ring buffer of
+  structured protocol events (token send/receive/regenerate, digest
+  mismatches, mutant-token detection, Value_Fault_Suspect, voting
+  divergence with the offending replica and both value digests,
+  membership reconfiguration and installs, delivery commits), each
+  stamped with sim-time, processor, ring view id and token sequence,
+  with an explicit drop counter once the buffer wraps;
+* a merge + attribution engine (:func:`merge_timeline`,
+  :func:`attribute`) that splices every processor's recorder into one
+  totally-ordered timeline, attributes each divergence and suspicion to
+  a culprit replica, and reconstructs the membership epochs;
+* a detector scorecard (:func:`score`) that joins the timeline against
+  the injected-fault ground truth (:class:`InjectedFault` records from
+  :mod:`repro.sim.faults` and :mod:`repro.multicast.adversary`) and
+  emits per-scenario precision/recall, detection-latency and
+  reconfiguration-time histograms — an empirical check of the paper's
+  Table 5 detector properties.
+
+``python -m repro.obs.forensics`` runs a seeded intrusion drill (a
+mutant-token equivocator, a value-faulting replica, and a processor
+crash), renders the ASCII timeline, and writes the machine-readable
+JSON report.  Every event derives from simulated state only, so the
+report is byte-identical across perf modes and repeated runs.
+"""
+
+import json
+from collections import deque
+
+#: default ring-buffer capacity of one processor's flight recorder
+DEFAULT_CAPACITY = 4096
+
+#: ground-truth fault kinds the detector is expected to attribute.
+#: Masquerade and send omission are *suppressed* (never delivered, per
+#: Table 1) rather than attributed to a processor, so they do not count
+#: against recall.
+DETECTABLE_KINDS = frozenset(
+    {
+        "crash",
+        "fail_to_send",
+        "fail_to_ack",
+        "mutant_token",
+        "malformed_token",
+        "value_fault",
+        "unresponsive",
+    }
+)
+
+#: suspicion reasons backed by signed evidence or deterministic voting
+#: agreement (mirrors repro.multicast.detector.PROVABLE_REASONS without
+#: importing it — obs must not depend on the protocol layers)
+_PROVABLE = frozenset(
+    {"mutant_token", "mutant_proposal", "malformed_token", "value_fault", "excluded"}
+)
+
+
+def _jsonable(value):
+    """Coerce event fields into deterministic JSON-serialisable shapes."""
+    if isinstance(value, bytes):
+        return value.hex()
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    return value
+
+
+class ForensicEvent:
+    """One structured entry in a processor's flight recorder."""
+
+    __slots__ = ("time", "proc", "ring", "seq", "etype", "fields")
+
+    def __init__(self, time, proc, ring, seq, etype, fields):
+        self.time = time
+        self.proc = proc
+        #: ring view id in force at the recording processor
+        self.ring = ring
+        #: latest token sequence number seen at the recording processor
+        self.seq = seq
+        self.etype = etype
+        self.fields = fields
+
+    def to_dict(self):
+        out = {
+            "time": self.time,
+            "proc": self.proc,
+            "ring": self.ring,
+            "seq": self.seq,
+            "event": self.etype,
+        }
+        for key in sorted(self.fields):
+            out[key] = _jsonable(self.fields[key])
+        return out
+
+    def get(self, name, default=None):
+        return self.fields.get(name, default)
+
+    def __repr__(self):
+        body = ", ".join("%s=%r" % kv for kv in sorted(self.fields.items()))
+        return "ForensicEvent(t=%.6f P%d ring=%d seq=%s %s: %s)" % (
+            self.time,
+            self.proc,
+            self.ring,
+            self.seq,
+            self.etype,
+            body,
+        )
+
+
+class FlightRecorder:
+    """Bounded ring buffer of one processor's forensic events.
+
+    Mirrors the ``TraceLog`` ``max_records`` discipline: once the buffer
+    holds ``capacity`` events, recording a new one evicts the oldest and
+    bumps :attr:`dropped`, remembering the sim-times of the first and
+    last evicted events — truncation is never silent.
+
+    The recorder also carries the *ring context*: the protocol layers
+    update :attr:`ring` and :attr:`seq` as views are installed and
+    tokens pass, and every event is stamped with the context current at
+    its processor, so the merged timeline can be keyed by token
+    sequence without every call site threading the token through.
+    """
+
+    __slots__ = (
+        "proc_id",
+        "capacity",
+        "events",
+        "dropped",
+        "first_dropped_time",
+        "last_dropped_time",
+        "ring",
+        "seq",
+        "_hub",
+    )
+
+    def __init__(self, proc_id, hub, capacity=DEFAULT_CAPACITY):
+        self.proc_id = proc_id
+        self.capacity = capacity
+        self.events = deque()
+        self.dropped = 0
+        self.first_dropped_time = None
+        self.last_dropped_time = None
+        self.ring = 0
+        self.seq = 0
+        self._hub = hub
+
+    def set_context(self, ring=None, seq=None):
+        """Update the ring view id / token sequence context."""
+        if ring is not None:
+            self.ring = ring
+        if seq is not None:
+            self.seq = seq
+
+    def record(self, etype, **fields):
+        event = ForensicEvent(
+            self._hub.now(), self.proc_id, self.ring, self.seq, etype, fields
+        )
+        self.events.append(event)
+        if len(self.events) > self.capacity:
+            oldest = self.events.popleft()
+            self.dropped += 1
+            if self.first_dropped_time is None:
+                self.first_dropped_time = oldest.time
+            self.last_dropped_time = oldest.time
+        return event
+
+    def to_dict(self):
+        """Buffer health for the report (satellite: no silent loss)."""
+        return {
+            "proc": self.proc_id,
+            "capacity": self.capacity,
+            "events": len(self.events),
+            "dropped_events": self.dropped,
+            "first_dropped_time": self.first_dropped_time,
+            "last_dropped_time": self.last_dropped_time,
+        }
+
+
+class InjectedFault:
+    """Ground truth for one injected fault (who, what, when)."""
+
+    __slots__ = ("fault_id", "kind", "culprit", "time")
+
+    def __init__(self, fault_id, kind, culprit, time):
+        self.fault_id = fault_id
+        self.kind = kind
+        self.culprit = culprit
+        self.time = time
+
+    @property
+    def detectable(self):
+        return self.kind in DETECTABLE_KINDS
+
+    def to_dict(self):
+        return {
+            "fault_id": self.fault_id,
+            "kind": self.kind,
+            "culprit": self.culprit,
+            "time": self.time,
+            "detectable": self.detectable,
+        }
+
+    def __repr__(self):
+        return "InjectedFault(%s)" % self.fault_id
+
+
+def fault_id_for(kind, culprit, time):
+    """The stable fault id joining ground truth to detector events.
+
+    Pure function of the injection parameters — identical across perf
+    modes, runs, and hosts for the same seeded scenario.
+    """
+    stamp = ("%.6f" % time).rstrip("0").rstrip(".")
+    return "%s:P%d@%s" % (kind, culprit, stamp or "0")
+
+
+class ForensicsHub:
+    """All processors' flight recorders plus the injected ground truth.
+
+    Attach one to an :class:`~repro.obs.Observability` bundle
+    (``Observability(forensics=ForensicsHub())``); the facade binds it
+    to the scheduler and every protocol layer lazily creates its
+    processor's recorder.  Components keep the single-``None``-check
+    discipline: they resolve their recorder once at construction and
+    test one attribute on the hot path.
+    """
+
+    def __init__(self, capacity=DEFAULT_CAPACITY):
+        self.capacity = capacity
+        self._recorders = {}
+        #: fault_id -> InjectedFault, registered by the injectors
+        self._ground_truth = {}
+        self._scheduler = None
+
+    def bind(self, scheduler):
+        self._scheduler = scheduler
+        return self
+
+    def now(self):
+        return self._scheduler.now if self._scheduler is not None else 0.0
+
+    def recorder(self, proc_id):
+        """Get-or-create the flight recorder for ``proc_id``."""
+        recorder = self._recorders.get(proc_id)
+        if recorder is None:
+            recorder = FlightRecorder(proc_id, self, capacity=self.capacity)
+            self._recorders[proc_id] = recorder
+        return recorder
+
+    def recorders(self):
+        return [self._recorders[pid] for pid in sorted(self._recorders)]
+
+    def record_ground_truth(self, fault_id, kind, culprit, time):
+        """Register one injected fault (idempotent per fault id)."""
+        if fault_id not in self._ground_truth:
+            self._ground_truth[fault_id] = InjectedFault(fault_id, kind, culprit, time)
+        return self._ground_truth[fault_id]
+
+    def ground_truth(self):
+        return [self._ground_truth[fid] for fid in sorted(self._ground_truth)]
+
+
+# ----------------------------------------------------------------------
+# merge + attribution engine
+# ----------------------------------------------------------------------
+
+def merge_timeline(hub):
+    """Splice every recorder into one totally-ordered event timeline.
+
+    The order is total and deterministic: events sort by sim-time, then
+    token sequence, then processor, then event type, then serialised
+    fields — so two runs of the same seed produce the identical list.
+    """
+    events = []
+    for recorder in hub.recorders():
+        events.extend(recorder.events)
+    events.sort(
+        key=lambda e: (
+            e.time,
+            e.seq,
+            e.proc,
+            e.etype,
+            json.dumps(_jsonable(e.fields), sort_keys=True),
+        )
+    )
+    return events
+
+
+def _final_accusations(timeline):
+    """Replay suspect/absolve events into the surviving accusation set.
+
+    Returns ``{suspect: {"first_time", "reasons", "observers"}}`` for
+    every processor that either carries a provable reason at any point
+    or retains at least one unabsolved reason at the end of the
+    timeline.  Transient suspicions that were absolved (the suspect
+    proved liveness) do not accuse.
+    """
+    live = {}  # (observer, suspect) -> set(reasons)
+    record = {}  # suspect -> accumulated attribution info
+    provable_ever = set()
+    for event in timeline:
+        if event.etype == "suspect":
+            suspect = event.get("suspect")
+            reason = event.get("reason")
+            live.setdefault((event.proc, suspect), set()).add(reason)
+            if reason in _PROVABLE:
+                provable_ever.add(suspect)
+            info = record.setdefault(
+                suspect, {"first_time": event.time, "reasons": set(), "observers": set()}
+            )
+            info["reasons"].add(reason)
+            info["observers"].add(event.proc)
+        elif event.etype == "absolve":
+            suspect = event.get("suspect")
+            reasons = live.get((event.proc, suspect))
+            if reasons is not None:
+                reasons.difference_update(event.get("cleared", ()))
+    retained = {suspect for (_, suspect), reasons in live.items() if reasons}
+    accused = retained | provable_ever
+    return {s: record[s] for s in sorted(accused) if s in record}
+
+
+def attribute(timeline):
+    """Attribute divergences and suspicions; reconstruct membership epochs.
+
+    Returns a dict with:
+
+    * ``culprits`` — per accused processor: first suspicion time, the
+      union of suspicion reasons, the observers that raised them, and
+      the count of voting divergences laid at its feet;
+    * ``divergences`` — every ``vote_divergence`` event (culprit,
+      culprit digest, winning digest, operation);
+    * ``membership_epochs`` — the distinct installed views in order,
+      each with members, exclusions, and first/last install times.
+    """
+    accusations = _final_accusations(timeline)
+    divergences = []
+    for event in timeline:
+        if event.etype == "vote_divergence":
+            divergences.append(event)
+
+    culprits = {}
+    for suspect, info in accusations.items():
+        culprits[suspect] = {
+            "proc": suspect,
+            "first_suspected": info["first_time"],
+            "reasons": sorted(info["reasons"]),
+            "observers": sorted(info["observers"]),
+            "divergences": sum(
+                1 for d in divergences if d.get("culprit") == suspect
+            ),
+        }
+
+    epochs = []
+    by_view = {}
+    for event in timeline:
+        if event.etype != "membership_install":
+            continue
+        key = (event.ring, tuple(event.get("members", ())))
+        epoch = by_view.get(key)
+        if epoch is None:
+            epoch = {
+                "ring": event.ring,
+                "members": list(event.get("members", ())),
+                "excluded": sorted(event.get("excluded", ())),
+                "first_install": event.time,
+                "last_install": event.time,
+                "installed_by": [],
+            }
+            by_view[key] = epoch
+            epochs.append(epoch)
+        epoch["last_install"] = max(epoch["last_install"], event.time)
+        if event.proc not in epoch["installed_by"]:
+            epoch["installed_by"].append(event.proc)
+    for epoch in epochs:
+        epoch["installed_by"].sort()
+
+    return {
+        "culprits": [culprits[pid] for pid in sorted(culprits)],
+        "divergences": [d.to_dict() for d in divergences],
+        "membership_epochs": epochs,
+    }
+
+
+# ----------------------------------------------------------------------
+# detector scorecard
+# ----------------------------------------------------------------------
+
+def _histogram(values):
+    """Deterministic summary of a small sample of durations."""
+    values = sorted(values)
+    count = len(values)
+    if not count:
+        return {"count": 0, "min": None, "max": None, "mean": None,
+                "p50": None, "p90": None, "values": []}
+
+    def pct(q):
+        return values[min(count - 1, int(q * count))]
+
+    return {
+        "count": count,
+        "min": values[0],
+        "max": values[-1],
+        "mean": sum(values) / count,
+        "p50": pct(0.50),
+        "p90": pct(0.90),
+        "values": values,
+    }
+
+
+def _reconfig_durations(timeline):
+    """Pair each reconfig_begin with its install, per processor."""
+    started = {}
+    durations = []
+    for event in timeline:
+        if event.etype == "reconfig_begin":
+            started.setdefault(event.proc, event.time)
+        elif event.etype == "membership_install":
+            begun = started.pop(event.proc, None)
+            if begun is not None:
+                durations.append(event.time - begun)
+    return durations
+
+
+def score(hub, timeline=None):
+    """Score the detector against the injected-fault ground truth.
+
+    For every detectable injected fault the scorecard records whether
+    the culprit ended the run accused (a true positive), the detection
+    latency (injection time to the first suspicion of the culprit at or
+    after it), and the reasons observed.  Accused processors that were
+    never injected as faulty are false positives.  Non-detectable kinds
+    (masquerade, send omission) are reported as ``suppressed`` and do
+    not enter precision/recall — the protocols mask them rather than
+    attribute them.
+    """
+    if timeline is None:
+        timeline = merge_timeline(hub)
+    truth = hub.ground_truth()
+    accusations = _final_accusations(timeline)
+    accused = set(accusations)
+
+    first_suspicion = {}
+    for event in timeline:
+        if event.etype == "suspect":
+            suspect = event.get("suspect")
+            first_suspicion.setdefault((suspect, event.get("reason")), event.time)
+            first_suspicion.setdefault((suspect, None), event.time)
+
+    per_fault = []
+    latencies = []
+    detected_culprits = set()
+    faulty_culprits = set()
+    for fault in truth:
+        faulty_culprits.add(fault.culprit)
+        entry = fault.to_dict()
+        if not fault.detectable:
+            entry["outcome"] = "suppressed"
+            entry["detection_time"] = None
+            entry["detection_latency"] = None
+            per_fault.append(entry)
+            continue
+        if fault.culprit in accused:
+            when = first_suspicion.get((fault.culprit, None))
+            latency = max(0.0, when - fault.time) if when is not None else None
+            entry["outcome"] = "detected"
+            entry["detection_time"] = when
+            entry["detection_latency"] = latency
+            entry["reasons"] = accusations[fault.culprit]["reasons"] = sorted(
+                accusations[fault.culprit]["reasons"]
+            )
+            if latency is not None:
+                latencies.append(latency)
+            detected_culprits.add(fault.culprit)
+        else:
+            entry["outcome"] = "missed"
+            entry["detection_time"] = None
+            entry["detection_latency"] = None
+        per_fault.append(entry)
+
+    detectable = {f.culprit for f in truth if f.detectable}
+    true_positives = accused & detectable
+    false_positives = accused - faulty_culprits
+    precision = (
+        len(true_positives) / len(accused) if accused else 1.0
+    )
+    recall = (
+        len(true_positives & detected_culprits) / len(detectable)
+        if detectable
+        else 1.0
+    )
+    return {
+        "ground_truth": [f.to_dict() for f in truth],
+        "per_fault": per_fault,
+        "accused": sorted(accused),
+        "false_positives": sorted(false_positives),
+        "precision": precision,
+        "recall": recall,
+        "detection_latency": _histogram(latencies),
+        "reconfig_seconds": _histogram(_reconfig_durations(timeline)),
+    }
+
+
+# ----------------------------------------------------------------------
+# report assembly and rendering
+# ----------------------------------------------------------------------
+
+def build_report(hub, scenario=None):
+    """The full machine-readable forensics report as one plain dict."""
+    timeline = merge_timeline(hub)
+    return {
+        "scenario": scenario or {},
+        "recorders": [r.to_dict() for r in hub.recorders()],
+        "dropped_events": sum(r.dropped for r in hub.recorders()),
+        "timeline": [e.to_dict() for e in timeline],
+        "attribution": attribute(timeline),
+        "scorecard": score(hub, timeline),
+    }
+
+
+def recorder_summary(hub):
+    """Compact buffer-health dict for embedding in the obs summary."""
+    recorders = hub.recorders()
+    return {
+        "recorders": len(recorders),
+        "events": sum(len(r.events) for r in recorders),
+        "dropped_events": sum(r.dropped for r in recorders),
+        "first_dropped_time": min(
+            (r.first_dropped_time for r in recorders
+             if r.first_dropped_time is not None),
+            default=None,
+        ),
+        "last_dropped_time": max(
+            (r.last_dropped_time for r in recorders
+             if r.last_dropped_time is not None),
+            default=None,
+        ),
+    }
+
+
+_TIMELINE_HIDDEN = frozenset({"delivery_commit", "token_receive", "token_send"})
+
+
+def _fmt_fields(event):
+    parts = []
+    for key in sorted(event.fields):
+        parts.append("%s=%s" % (key, _jsonable(event.fields[key])))
+    return " ".join(parts)
+
+
+def render_timeline(timeline, show_all=False):
+    """Render the merged timeline as fixed-width ASCII.
+
+    By default the high-volume steady-state events (token circulation,
+    delivery commits) are folded into per-second counts so the
+    intrusion story stays readable; ``show_all`` prints everything.
+    """
+    lines = []
+    add = lines.append
+    add("== merged forensic timeline " + "=" * 34)
+    add("  %-10s %-5s %-5s %-4s %-22s %s" % ("time", "ring", "seq", "proc", "event", "detail"))
+    suppressed = 0
+    for event in timeline:
+        if not show_all and event.etype in _TIMELINE_HIDDEN:
+            suppressed += 1
+            continue
+        add(
+            "  %-10s %-5d %-5d P%-3d %-22s %s"
+            % (
+                "%.4f" % event.time,
+                event.ring,
+                event.seq,
+                event.proc,
+                event.etype,
+                _fmt_fields(event),
+            )
+        )
+    if suppressed:
+        add("  (... %d steady-state token/delivery events folded; --all shows them)"
+            % suppressed)
+    return "\n".join(lines)
+
+
+def _fmt_seconds(value):
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return "%.3f s" % value
+    return "%.1f ms" % (value * 1e3)
+
+
+def render_scorecard(report):
+    """Render attribution + scorecard sections as fixed-width ASCII."""
+    lines = []
+    add = lines.append
+    attribution = report["attribution"]
+    scorecard = report["scorecard"]
+
+    add("")
+    add("== fault attribution " + "=" * 41)
+    if attribution["culprits"]:
+        for culprit in attribution["culprits"]:
+            add(
+                "  P%-3d first suspected t=%.4f  reasons=%s  observers=%s  divergences=%d"
+                % (
+                    culprit["proc"],
+                    culprit["first_suspected"],
+                    ",".join(culprit["reasons"]),
+                    ",".join("P%d" % p for p in culprit["observers"]),
+                    culprit["divergences"],
+                )
+            )
+    else:
+        add("  (no processor accused)")
+
+    add("")
+    add("== membership epochs " + "=" * 41)
+    for epoch in attribution["membership_epochs"]:
+        add(
+            "  ring %-4d members=%s%s  installed %.4f..%.4f by %s"
+            % (
+                epoch["ring"],
+                epoch["members"],
+                (" excluded=%s" % epoch["excluded"]) if epoch["excluded"] else "",
+                epoch["first_install"],
+                epoch["last_install"],
+                ",".join("P%d" % p for p in epoch["installed_by"]),
+            )
+        )
+
+    add("")
+    add("== detector scorecard " + "=" * 40)
+    for entry in scorecard["per_fault"]:
+        detail = ""
+        if entry["outcome"] == "detected":
+            detail = "  latency=%s reasons=%s" % (
+                _fmt_seconds(entry["detection_latency"]),
+                ",".join(entry.get("reasons", ())),
+            )
+        add("  %-28s -> %-10s%s" % (entry["fault_id"], entry["outcome"], detail))
+    add(
+        "  precision=%.3f  recall=%.3f  false positives=%s"
+        % (
+            scorecard["precision"],
+            scorecard["recall"],
+            scorecard["false_positives"] or "none",
+        )
+    )
+    latency = scorecard["detection_latency"]
+    if latency["count"]:
+        add(
+            "  detection latency: n=%d min=%s p50=%s p90=%s max=%s"
+            % (
+                latency["count"],
+                _fmt_seconds(latency["min"]),
+                _fmt_seconds(latency["p50"]),
+                _fmt_seconds(latency["p90"]),
+                _fmt_seconds(latency["max"]),
+            )
+        )
+    reconfig = scorecard["reconfig_seconds"]
+    if reconfig["count"]:
+        add(
+            "  reconfiguration:   n=%d min=%s p50=%s p90=%s max=%s"
+            % (
+                reconfig["count"],
+                _fmt_seconds(reconfig["min"]),
+                _fmt_seconds(reconfig["p50"]),
+                _fmt_seconds(reconfig["p90"]),
+                _fmt_seconds(reconfig["max"]),
+            )
+        )
+
+    add("")
+    add("== flight recorders " + "=" * 42)
+    for entry in report["recorders"]:
+        dropped = ""
+        if entry["dropped_events"]:
+            dropped = "  DROPPED %d (t=%.4f..%.4f)" % (
+                entry["dropped_events"],
+                entry["first_dropped_time"],
+                entry["last_dropped_time"],
+            )
+        add(
+            "  P%-3d %5d/%d events%s"
+            % (entry["proc"], entry["events"], entry["capacity"], dropped)
+        )
+    return "\n".join(lines)
+
+
+def render_report(report, show_all=False):
+    timeline_dicts = report["timeline"]
+    # Re-render from the dict form so a report loaded from JSON renders
+    # identically to one built in-process.
+    events = [
+        ForensicEvent(
+            d["time"],
+            d["proc"],
+            d["ring"],
+            d["seq"],
+            d["event"],
+            {k: v for k, v in d.items()
+             if k not in ("time", "proc", "ring", "seq", "event")},
+        )
+        for d in timeline_dicts
+    ]
+    return render_timeline(events, show_all=show_all) + render_scorecard(report)
+
+
+# ----------------------------------------------------------------------
+# the seeded intrusion drill (the CLI scenario)
+# ----------------------------------------------------------------------
+
+def run_intrusion_drill(seed=23, capacity=DEFAULT_CAPACITY):
+    """One seeded case-4 intrusion drill with forensics attached.
+
+    Three injected faults, each a different Table 1 class:
+
+    * a *value fault*: P2's ledger replica corrupts its responses, which
+      output voting at the clients outvotes and the value fault detector
+      attributes;
+    * *mutant tokens*: P4 equivocates, sending different signed tokens
+      for the same visit to different halves of the ring;
+    * a *crash*: P3 fail-stops late in the run.
+
+    Returns ``(immune, obs, scenario_info)``.
+    """
+    from repro.core.config import ImmuneConfig, SurvivabilityCase
+    from repro.core.immune import ImmuneSystem
+    from repro.core.replica import ValueFaultServant
+    from repro.multicast.adversary import MutantTokenBehaviour
+    from repro.obs import Observability
+    from repro.orb.idl import InterfaceDef, OperationDef, ParamDef
+    from repro.sim.faults import FaultPlan
+
+    ledger_idl = InterfaceDef(
+        "Ledger",
+        [OperationDef("add", [ParamDef("amount", "long")], result="long")],
+    )
+
+    class LedgerServant:
+        def __init__(self):
+            self.total = 0
+
+        def add(self, amount):
+            self.total += amount
+            return self.total
+
+    config = ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=seed)
+    plan = FaultPlan()
+    plan.schedule_crash(3, 2.6)
+
+    obs = Observability(forensics=ForensicsHub(capacity=capacity))
+    immune = ImmuneSystem(
+        num_processors=6,
+        config=config,
+        fault_plan=plan,
+        trace_kinds=frozenset(),
+        obs=obs,
+    )
+
+    def factory(pid):
+        servant = LedgerServant()
+        if pid == 2:
+            # The value-faulting replica: correct for the first two
+            # calls, corrupt from the third on.
+            return ValueFaultServant(servant, corrupt_from=2)
+        return servant
+
+    server = immune.deploy("ledger", ledger_idl, factory, [0, 1, 2])
+    # The servant wrapper corrupts responses from the third add() on;
+    # that call leaves the clients at t = 0.1 + 2 * 0.18.
+    value_fault_at = 0.1 + 2 * 0.18
+    obs.forensics.record_ground_truth(
+        fault_id_for("value_fault", 2, value_fault_at),
+        "value_fault",
+        2,
+        value_fault_at,
+    )
+    client = immune.deploy_client("driver", [3, 4, 5])
+    immune.start()
+
+    mutant = MutantTokenBehaviour(at_time=1.4).compromise(immune.endpoints[4])
+
+    stubs = immune.client_stubs(client, ledger_idl, server)
+    replies = {"count": 0}
+    operations = 12
+    for k in range(operations):
+        send_at = 0.1 + k * 0.18
+
+        def fire():
+            for pid, stub in stubs:
+                if not immune.processors[pid].crashed:
+                    stub.add(
+                        1,
+                        reply_to=lambda _total: replies.__setitem__(
+                            "count", replies["count"] + 1
+                        ),
+                    )
+
+        immune.scheduler.at(send_at, fire, label="drill.workload")
+
+    immune.run(until=6.0)
+    mutant.restore()
+
+    scenario = {
+        "scenario": "intrusion-drill",
+        "case": config.case.name,
+        "seed": seed,
+        "processors": 6,
+        "operations": operations,
+        "replies_received": replies["count"],
+        "surviving_members": list(immune.surviving_members()),
+        "simulated_seconds": immune.scheduler.now,
+    }
+    return immune, obs, scenario
+
+
+def main(argv=None):
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.forensics",
+        description="Run the seeded intrusion drill and report the forensics.",
+    )
+    parser.add_argument("--seed", type=int, default=23)
+    parser.add_argument(
+        "--out", default="forensics.json",
+        help="machine-readable JSON report path (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report to stdout instead of the ASCII timeline",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="show steady-state token/delivery events in the ASCII timeline",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=DEFAULT_CAPACITY,
+        help="flight-recorder ring-buffer capacity (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--assert-precision", type=float, default=None, metavar="P",
+        help="exit nonzero unless scorecard precision >= P",
+    )
+    parser.add_argument(
+        "--assert-recall", type=float, default=None, metavar="R",
+        help="exit nonzero unless scorecard recall >= R",
+    )
+    args = parser.parse_args(argv)
+
+    _, obs, scenario = run_intrusion_drill(seed=args.seed, capacity=args.capacity)
+    report = build_report(obs.forensics, scenario=scenario)
+    blob = json.dumps(report, sort_keys=True, indent=2) + "\n"
+    with open(args.out, "w") as fh:
+        fh.write(blob)
+
+    if args.json:
+        print(blob, end="")
+    else:
+        print(render_report(report, show_all=args.all))
+        print("\nJSON report written to %s" % args.out)
+
+    status = 0
+    scorecard = report["scorecard"]
+    if args.assert_precision is not None and scorecard["precision"] < args.assert_precision:
+        print(
+            "FAIL: precision %.3f < %.3f"
+            % (scorecard["precision"], args.assert_precision),
+            file=sys.stderr,
+        )
+        status = 1
+    if args.assert_recall is not None and scorecard["recall"] < args.assert_recall:
+        print(
+            "FAIL: recall %.3f < %.3f" % (scorecard["recall"], args.assert_recall),
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

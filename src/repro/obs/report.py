@@ -11,9 +11,17 @@ Usage::
 
     PYTHONPATH=src python -m repro.obs.report [--quick] [--seed N]
                                               [--out report.jsonl]
+                                              [--input report.jsonl]
+                                              [--json]
+
+``--input`` renders the dashboard from an existing JSONL artefact
+instead of running a new simulation; ``--json`` prints the summary as
+machine-readable JSON (parity with ``python -m repro.obs.forensics``).
 """
 
 import argparse
+import json
+import sys
 
 from repro.bench.latency import ECHO_IDL, EchoServant
 from repro.core.config import ImmuneConfig, SurvivabilityCase
@@ -21,6 +29,47 @@ from repro.core.immune import ImmuneSystem
 from repro.obs import Observability
 from repro.obs.export import export_jsonl, render_dashboard
 from repro.sim.faults import FaultPlan, LinkFaults
+
+
+class ReportInputError(Exception):
+    """A JSONL artefact could not be loaded (missing/empty/no summary)."""
+
+
+def load_summary(path):
+    """Load ``(summary, run_info)`` back out of a JSONL artefact.
+
+    Raises :class:`ReportInputError` with a human-readable message when
+    the file is missing, empty, unparsable, or carries no ``summary``
+    record — the CLI turns that into a nonzero exit instead of a
+    traceback.
+    """
+    try:
+        with open(path) as fh:
+            lines = [line for line in fh if line.strip()]
+    except OSError as exc:
+        raise ReportInputError("cannot read JSONL input %s: %s" % (path, exc))
+    if not lines:
+        raise ReportInputError("JSONL input %s is empty" % path)
+    summary = None
+    run_info = None
+    for index, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except ValueError:
+            raise ReportInputError(
+                "JSONL input %s: line %d is not valid JSON" % (path, index)
+            )
+        kind = record.pop("record", None)
+        if kind == "summary":
+            summary = record
+        elif kind == "run":
+            run_info = record
+    if summary is None:
+        raise ReportInputError(
+            "JSONL input %s has no summary record (not a repro.obs artefact?)"
+            % path
+        )
+    return summary, run_info
 
 
 def run_instrumented(seed=11, quick=False):
@@ -98,15 +147,37 @@ def main(argv=None):
         "--out", default="obs_report.jsonl",
         help="JSONL artefact path (default: %(default)s)",
     )
+    parser.add_argument(
+        "--input", default=None, metavar="PATH",
+        help="render an existing JSONL artefact instead of running a simulation",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the machine-readable summary JSON instead of the dashboard",
+    )
     args = parser.parse_args(argv)
 
-    immune, obs, run_info = run_instrumented(seed=args.seed, quick=args.quick)
-    summary = export_jsonl(
-        args.out, obs, run_info=run_info,
-        crypto_costs=immune.config.crypto_costs,
-    )
-    print(render_dashboard(summary, run_info=run_info))
-    print("JSONL artefact written to %s" % args.out)
+    if args.input is not None:
+        try:
+            summary, run_info = load_summary(args.input)
+        except ReportInputError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+    else:
+        immune, obs, run_info = run_instrumented(seed=args.seed, quick=args.quick)
+        summary = export_jsonl(
+            args.out, obs, run_info=run_info,
+            crypto_costs=immune.config.crypto_costs,
+        )
+
+    if args.json:
+        print(json.dumps(
+            {"run": run_info or {}, "summary": summary}, sort_keys=True, indent=2
+        ))
+    else:
+        print(render_dashboard(summary, run_info=run_info))
+        if args.input is None:
+            print("JSONL artefact written to %s" % args.out)
     return 0
 
 

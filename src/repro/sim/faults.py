@@ -69,6 +69,28 @@ class FaultPlan:
             processor = processors[proc_id]
             scheduler.at(time, processor.crash, label="fault.crash")
 
+    def ground_truth(self):
+        """Injected faults as forensic ground truth, with stable ids.
+
+        The ids are pure functions of the injection parameters (see
+        :func:`repro.obs.forensics.fault_id_for`), so the join between
+        ground truth and detector events is deterministic across runs
+        and perf modes.
+        """
+        from repro.obs.forensics import fault_id_for
+
+        truth = []
+        for proc_id, time in sorted(self.crash_times.items()):
+            truth.append(
+                {
+                    "fault_id": fault_id_for("crash", proc_id, time),
+                    "kind": "crash",
+                    "culprit": proc_id,
+                    "time": time,
+                }
+            )
+        return truth
+
     # ------------------------------------------------------------------
     # queries (called by the network per datagram per receiver)
     # ------------------------------------------------------------------

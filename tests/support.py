@@ -27,11 +27,15 @@ class MulticastWorld:
         config=None,
         net_params=None,
         trace_kinds=None,
+        obs=None,
     ):
         self.scheduler = Scheduler()
         self.streams = RngStreams(seed)
         self.trace = TraceLog(self.scheduler, enabled_kinds=trace_kinds)
         self.fault_plan = fault_plan
+        self.obs = obs
+        if obs is not None:
+            obs.bind(self.scheduler)
         self.network = Network(
             self.scheduler,
             params=net_params or NetworkParams(),
@@ -57,6 +61,7 @@ class MulticastWorld:
                 self.crypto_costs,
                 self.config,
                 self.trace,
+                obs=obs,
             )
             self.processors[proc_id] = processor
             self.endpoints[proc_id] = endpoint
@@ -66,6 +71,14 @@ class MulticastWorld:
             endpoint.on_membership_change(self._membership_recorder(proc_id))
         if fault_plan is not None:
             fault_plan.arm_crashes(self.scheduler, self.processors)
+            if obs is not None and getattr(obs, "forensics", None) is not None:
+                for fault in fault_plan.ground_truth():
+                    obs.forensics.record_ground_truth(
+                        fault["fault_id"],
+                        fault["kind"],
+                        fault["culprit"],
+                        fault["time"],
+                    )
 
     def _recorder(self, proc_id):
         def record(sender_id, seq, dest_group, payload):
