@@ -1,0 +1,56 @@
+"""Multi-ring sharding: the Immune system at cluster scale.
+
+The paper runs every object group on one SecureRing, so aggregate
+throughput is capped by a single token circulation.  This package
+composes several independent rings in one simulation — each with its
+own Secure Multicast stack, membership, and Replication Managers —
+and shards object groups across them:
+
+* :mod:`repro.cluster.config` — ring layout and gateway sizing;
+* :mod:`repro.cluster.placement` — deterministic rendezvous-hash
+  placement of groups onto rings and replica sets;
+* :mod:`repro.cluster.gateway` — voted, duplicate-suppressed cross-ring
+  re-origination that keeps exactly-once end-to-end even with one
+  Byzantine gateway replica;
+* :mod:`repro.cluster.manager` — the :class:`ClusterManager` facade:
+  per-ring :class:`~repro.core.immune.ImmuneSystem` instances on one
+  shared scheduler behind a single bind/invoke API;
+* :mod:`repro.cluster.obsbridge` — ring-scoped metric/forensics views
+  over one shared observability bundle.
+
+``python -m repro.bench.cluster`` measures the aggregate throughput
+scaling from one ring to several; ``docs/CLUSTER.md`` documents the
+placement rules, the gateway protocol, and the failure semantics.
+"""
+
+from repro.cluster.config import ClusterConfig, ClusterConfigError
+from repro.cluster.gateway import GatewayLink, GatewayReplica
+from repro.cluster.manager import ClusterDirectory, ClusterHandle, ClusterManager
+from repro.cluster.obsbridge import (
+    RingObservability,
+    RingScopedForensics,
+    RingScopedRegistry,
+)
+from repro.cluster.placement import (
+    Placement,
+    PlacementEngine,
+    rendezvous_ranking,
+    rendezvous_score,
+)
+
+__all__ = [
+    "ClusterConfig",
+    "ClusterConfigError",
+    "ClusterDirectory",
+    "ClusterHandle",
+    "ClusterManager",
+    "GatewayLink",
+    "GatewayReplica",
+    "Placement",
+    "PlacementEngine",
+    "RingObservability",
+    "RingScopedForensics",
+    "RingScopedRegistry",
+    "rendezvous_ranking",
+    "rendezvous_score",
+]

@@ -1,0 +1,154 @@
+"""Cluster-level configuration: how many rings, and who gates them.
+
+A cluster runs several independent SecureRings in one simulation — the
+paper's single token-circulation bottleneck, multiplied out the way
+Ring Paxos composes rings.  Each ring keeps the paper's resilience
+arithmetic locally: ``n`` processors tolerate ``floor((n-1)/3)``
+Byzantine faults, every object group lives entirely on one ring, and a
+group of ``r`` replicas needs ``ceil((r+1)/2)`` correct ones.
+
+Cross-ring invocations travel through *gateway replicas* (see
+:mod:`repro.cluster.gateway`): ``gateway_degree`` processors per ring
+re-originate voted traffic onto the peer ring, so the gateway hop is
+itself replicated and majority-voted — at least three gateways are
+required for a multi-ring voting cluster, masking one Byzantine
+gateway exactly as three object replicas mask one corrupted replica.
+"""
+
+from repro.core.config import ImmuneConfig, SurvivabilityCase
+from repro.multicast.config import MulticastConfig, max_faulty
+
+
+class ClusterConfigError(Exception):
+    """Raised when a cluster layout violates the resilience rules."""
+
+
+class ClusterConfig:
+    """Layout and survivability knobs of one multi-ring cluster."""
+
+    def __init__(
+        self,
+        num_rings=2,
+        procs_per_ring=6,
+        gateway_degree=3,
+        case=SurvivabilityCase.MAJORITY_VOTING,
+        replication_degree=3,
+        seed=0,
+        digest="md4",
+        modulus_bits=300,
+        messages_per_token_visit=6,
+        placement_mode="rendezvous",
+        placement_salt=0,
+    ):
+        if num_rings < 1:
+            raise ClusterConfigError("a cluster needs at least one ring")
+        if procs_per_ring < 1:
+            raise ClusterConfigError("each ring needs at least one processor")
+        if num_rings > 1:
+            if not case.replicated:
+                raise ClusterConfigError(
+                    "a multi-ring cluster needs a replicated case (2-4): "
+                    "gateways re-originate through the multicast stack"
+                )
+            if gateway_degree < 1:
+                raise ClusterConfigError("gateway_degree must be at least 1")
+            if case.voting and gateway_degree < 3:
+                raise ClusterConfigError(
+                    "a voting cluster needs gateway_degree >= 3 so a majority "
+                    "of gateway copies masks one Byzantine gateway replica "
+                    "(got %d)" % gateway_degree
+                )
+            if gateway_degree > procs_per_ring:
+                raise ClusterConfigError(
+                    "gateway_degree %d exceeds procs_per_ring %d"
+                    % (gateway_degree, procs_per_ring)
+                )
+        if case.replicated and replication_degree > procs_per_ring:
+            raise ClusterConfigError(
+                "replication_degree %d needs %d processors but rings have %d "
+                "(at most one replica per processor)"
+                % (replication_degree, replication_degree, procs_per_ring)
+            )
+        self.num_rings = num_rings
+        self.procs_per_ring = procs_per_ring
+        self.gateway_degree = gateway_degree if num_rings > 1 else 0
+        self.case = case
+        self.replication_degree = replication_degree
+        self.seed = seed
+        self.digest = digest
+        self.modulus_bits = modulus_bits
+        self.messages_per_token_visit = messages_per_token_visit
+        self.placement_mode = placement_mode
+        self.placement_salt = placement_salt
+
+    # ------------------------------------------------------------------
+    # processor numbering: rings draw from disjoint global pid ranges
+    # ------------------------------------------------------------------
+
+    def ring_pids(self, ring_index):
+        """The global processor ids of ring ``ring_index``."""
+        self._check_ring(ring_index)
+        base = ring_index * self.procs_per_ring
+        return tuple(range(base, base + self.procs_per_ring))
+
+    def gateway_pids(self, ring_index):
+        """The ring's gateway hosts: its highest ``gateway_degree`` pids."""
+        pids = self.ring_pids(ring_index)
+        if not self.gateway_degree:
+            return ()
+        return pids[-self.gateway_degree:]
+
+    def worker_pids(self, ring_index):
+        """The ring's non-gateway pids, preferred for replica placement."""
+        gateways = set(self.gateway_pids(ring_index))
+        return tuple(p for p in self.ring_pids(ring_index) if p not in gateways)
+
+    def ring_of_pid(self, pid):
+        ring = pid // self.procs_per_ring
+        self._check_ring(ring)
+        return ring
+
+    def max_faulty_per_ring(self):
+        """Byzantine processors each ring tolerates: floor((n-1)/3)."""
+        return max_faulty(self.procs_per_ring)
+
+    def _check_ring(self, ring_index):
+        if not 0 <= ring_index < self.num_rings:
+            raise ClusterConfigError(
+                "ring %r out of range (cluster has %d rings)"
+                % (ring_index, self.num_rings)
+            )
+
+    # ------------------------------------------------------------------
+    # per-ring Immune configuration
+    # ------------------------------------------------------------------
+
+    def ring_config(self, ring_index):
+        """A fresh :class:`ImmuneConfig` for one ring.
+
+        Each ring gets its own :class:`MulticastConfig` because timeout
+        resolution mutates it in place, scaled to that ring's membership
+        size — the bug class the scaled-defaults regression tests pin
+        down.
+        """
+        self._check_ring(ring_index)
+        return ImmuneConfig(
+            case=self.case,
+            replication_degree=self.replication_degree,
+            modulus_bits=self.modulus_bits,
+            messages_per_token_visit=self.messages_per_token_visit,
+            seed=self.seed,
+            digest=self.digest,
+            multicast=MulticastConfig(
+                security=self.case.security_level,
+                max_messages_per_token_visit=self.messages_per_token_visit,
+            ),
+        )
+
+    def __repr__(self):
+        return "ClusterConfig(%d rings x %d procs, %s, gateways=%d)" % (
+            self.num_rings,
+            self.procs_per_ring,
+            self.case.name,
+            self.gateway_degree,
+        )

@@ -1,0 +1,263 @@
+"""Cross-ring invocation gateways: voted re-origination between rings.
+
+An invocation whose client group and server group live on different
+rings cannot ride one token — each ring is its own total order.  The
+gateway closes the gap with the same machinery the paper uses inside a
+ring, so the cross-ring hop weakens none of the survivability claims:
+
+* every ring pair is joined by ``gateway_degree`` *gateway replicas*,
+  each co-located on both rings (one processor identity per ring, run
+  as one logical entity — a gateway process with a NIC on each ring);
+* each gateway replica independently observes the source ring's total
+  order, **votes** the client replicas' invocation copies exactly as a
+  server-side Replication Manager would (majority of the source group's
+  degree, values compared by digest), and re-originates the single
+  winning message on the destination ring under its own processor
+  identity there;
+* the destination ring's Replication Managers then treat the gateway
+  replicas *as* the remote group's replicas: the foreign group is
+  registered with the gateway pids as its members, so the existing
+  voters take a majority across the gateway copies — one Byzantine
+  gateway replica that corrupts or replays traffic is outvoted by the
+  other two, and the value-fault machinery attributes it;
+* duplicate suppression reuses :class:`~repro.core.duplicates.
+  DuplicateFilter` semantics keyed by the operation identifier, so each
+  gateway replica forwards each operation at most once and end-to-end
+  delivery stays exactly-once.
+
+Replies make the mirror-image hop: the server ring's gateway side votes
+the server replicas' response copies and re-originates the winner on
+the client's ring, where client-side output voting proceeds unchanged.
+"""
+
+from repro.core.duplicates import DuplicateFilter
+from repro.core.identifiers import (
+    BASE_GROUP,
+    ImmuneCodecError,
+    ImmuneMessage,
+    KIND_INVOCATION,
+    KIND_RESPONSE,
+)
+from repro.core.voting import VoteDecision, Voter
+
+#: simulated CPU cost of voting + re-originating one forwarded message
+GATEWAY_FORWARD_COST = 25e-6
+
+
+def _corrupted(body):
+    """A Byzantine gateway's corruption: flip the final payload byte."""
+    if not body:
+        return b"\xff"
+    return body[:-1] + bytes([body[-1] ^ 0xFF])
+
+
+class _DirectionalForwarder:
+    """One gateway replica's forwarding path from one ring to its peer.
+
+    Listens to every totally-ordered delivery on the source ring (via
+    the source-side endpoint of its gateway replica), votes copies of
+    messages addressed to groups homed on the destination ring, and
+    re-originates each winner once on the destination ring.
+    """
+
+    def __init__(self, replica, src_ring, dst_ring, src_pid, dst_pid):
+        self.replica = replica
+        self.link = replica.link
+        self.src_ring = src_ring
+        self.dst_ring = dst_ring
+        self.src_pid = src_pid
+        self.dst_pid = dst_pid
+        cluster = self.link.cluster
+        self._src_immune = cluster.rings[src_ring]
+        self._dst_immune = cluster.rings[dst_ring]
+        self._src_endpoint = self._src_immune.endpoints[src_pid]
+        self._dst_endpoint = self._dst_immune.endpoints[dst_pid]
+        self._src_proc = self._src_immune.processors[src_pid]
+        self._dst_proc = self._dst_immune.processors[dst_pid]
+        #: the source ring's group table (this pid's RM view): voting
+        #: thresholds for the source group come from here
+        self._groups = self._src_immune.managers[src_pid].groups
+        self._digest_fn = self._src_immune.config.digest_fn()
+        self._voters = {}
+        self.dup_filter = DuplicateFilter()
+        obs = cluster.ring_obs(src_ring)
+        self._obs = obs
+        self._spans = obs.spans if obs is not None else None
+        if obs is not None:
+            labels = {"proc": src_pid, "to_ring": dst_ring}
+            self._m_forwarded = obs.registry.counter("gateway.forwarded", **labels)
+            self._m_suppressed = obs.registry.counter(
+                "gateway.duplicates_suppressed", **labels
+            )
+        else:
+            self._m_forwarded = None
+            self._m_suppressed = None
+        if obs is not None and obs.forensics is not None:
+            self._forensics = obs.forensics.recorder(src_pid)
+        else:
+            self._forensics = None
+        self.stats = {"forwarded": 0, "suppressed": 0, "ignored": 0}
+        self._src_endpoint.on_deliver(self._on_deliver)
+
+    # ------------------------------------------------------------------
+    # the forwarding path
+    # ------------------------------------------------------------------
+
+    def _on_deliver(self, sender_id, seq, dest_group, payload):
+        if dest_group == BASE_GROUP:
+            return  # membership/fault traffic never crosses rings
+        home = self.link.cluster.directory.home_ring(dest_group)
+        if home != self.dst_ring:
+            return  # not ours: local traffic, or another link's peer
+        try:
+            message = ImmuneMessage.decode_shared(payload)
+        except ImmuneCodecError:
+            return
+        if message.replica_proc != sender_id or message.target_group != dest_group:
+            return  # masquerade above the multicast layer
+        if message.kind not in (KIND_INVOCATION, KIND_RESPONSE):
+            self.stats["ignored"] += 1
+            return
+        if self._src_proc.crashed or self._dst_proc.crashed or self._dst_endpoint.halted:
+            return  # a dead gateway forwards nothing; its peers carry on
+        voter = self._voters.get(dest_group)
+        if voter is None:
+            voter = Voter(
+                dest_group,
+                self._groups,
+                self._digest_fn,
+                obs=self._obs,
+                proc_id=self.src_pid,
+            )
+            self._voters[dest_group] = voter
+        op_key = (message.kind, message.source_group, message.target_group, message.op_num)
+        outcome = voter.add_copy(
+            message.source_group, op_key, message.replica_proc, message.body
+        )
+        if not isinstance(outcome, VoteDecision):
+            return  # copies still short of a majority, or a late fault
+        if not self.dup_filter.mark_delivered(op_key):
+            self.stats["suppressed"] += 1
+            if self._m_suppressed is not None:
+                self._m_suppressed.inc()
+            return
+        self._forward(message, outcome.body, op_key)
+
+    def _forward(self, message, body, op_key):
+        self._src_proc.charge(GATEWAY_FORWARD_COST, "gateway.forward")
+        if self.replica.corrupt:
+            # The Byzantine gateway drill: this replica forwards a
+            # corrupted copy, which the destination ring outvotes.
+            body = _corrupted(body)
+        wrapped = ImmuneMessage(
+            message.kind,
+            message.source_group,
+            message.op_num,
+            self.dst_pid,
+            message.target_group,
+            body,
+        )
+        self.stats["forwarded"] += 1
+        if self._m_forwarded is not None:
+            self._m_forwarded.inc()
+        if self._spans is not None:
+            if message.kind == KIND_INVOCATION:
+                self._spans.mark(
+                    (message.source_group, message.op_num), "gateway_forwarded"
+                )
+            else:
+                self._spans.mark(
+                    (message.target_group, message.op_num), "reply_gateway_forwarded"
+                )
+        if self._forensics is not None:
+            self._forensics.record(
+                "gateway_forward",
+                kind="invocation" if message.kind == KIND_INVOCATION else "response",
+                source=message.source_group,
+                target=message.target_group,
+                op_num=message.op_num,
+                from_ring=self.src_ring,
+                to_ring=self.dst_ring,
+                via=(self.src_pid, self.dst_pid),
+                corrupt=bool(self.replica.corrupt),
+            )
+        self._dst_endpoint.multicast(message.target_group, wrapped.encode())
+
+
+class GatewayReplica:
+    """One logical gateway entity of a link: a pid on each ring, with a
+    forwarder in each direction and a shared Byzantine toggle."""
+
+    def __init__(self, link, index, pid_a, pid_b):
+        self.link = link
+        self.index = index
+        self.pid_a = pid_a
+        self.pid_b = pid_b
+        #: when true this replica corrupts everything it forwards — the
+        #: fault the destination rings' majority voting must mask
+        self.corrupt = False
+        self.forward_ab = _DirectionalForwarder(
+            self, link.ring_a, link.ring_b, pid_a, pid_b
+        )
+        self.forward_ba = _DirectionalForwarder(
+            self, link.ring_b, link.ring_a, pid_b, pid_a
+        )
+
+    def stats(self):
+        return {
+            "a_to_b": dict(self.forward_ab.stats),
+            "b_to_a": dict(self.forward_ba.stats),
+        }
+
+    def __repr__(self):
+        return "GatewayReplica(link %d<->%d, P%d/P%d%s)" % (
+            self.link.ring_a,
+            self.link.ring_b,
+            self.pid_a,
+            self.pid_b,
+            ", CORRUPT" if self.corrupt else "",
+        )
+
+
+class GatewayLink:
+    """All gateway replicas joining one pair of rings."""
+
+    def __init__(self, cluster, ring_a, ring_b, pairs):
+        self.cluster = cluster
+        self.ring_a = ring_a
+        self.ring_b = ring_b
+        self.replicas = [
+            GatewayReplica(self, i, pid_a, pid_b)
+            for i, (pid_a, pid_b) in enumerate(pairs)
+        ]
+
+    def corrupt_replica(self, index):
+        """Turn one gateway replica Byzantine; returns it for restore."""
+        replica = self.replicas[index]
+        replica.corrupt = True
+        return replica
+
+    def side_pids(self, ring_index):
+        """This link's gateway pids on one of its two rings — the pids
+        foreign groups are registered under on that ring."""
+        if ring_index == self.ring_a:
+            return tuple(r.pid_a for r in self.replicas)
+        if ring_index == self.ring_b:
+            return tuple(r.pid_b for r in self.replicas)
+        raise ValueError(
+            "ring %d is not part of link %d<->%d"
+            % (ring_index, self.ring_a, self.ring_b)
+        )
+
+    def stats(self):
+        return {
+            "rings": [self.ring_a, self.ring_b],
+            "replicas": [r.stats() for r in self.replicas],
+        }
+
+    def __repr__(self):
+        return "GatewayLink(%d<->%d, %d replicas)" % (
+            self.ring_a,
+            self.ring_b,
+            len(self.replicas),
+        )

@@ -1,0 +1,342 @@
+"""The cluster facade: several SecureRings behind one bind/invoke API.
+
+A :class:`ClusterManager` owns one :class:`~repro.core.immune.
+ImmuneSystem` per ring, all driven by a single shared discrete-event
+scheduler (one timeline, deterministic across rings), numbered from
+disjoint global processor-id ranges, sharing one key directory (a
+gateway host is the same principal on both of its rings) and one
+observability bundle seen through per-ring scoped views.  Workloads use
+it exactly like a single deployment::
+
+    cluster = ClusterManager(ClusterConfig(num_rings=2))
+    server = cluster.deploy("ledger", LEDGER_IDL, factory)   # placed by hash
+    client = cluster.deploy_client("driver")
+    cluster.start()
+    for pid, stub in cluster.client_stubs(client, LEDGER_IDL, server):
+        stub.add(1)
+    cluster.run(until=2.0)
+
+Whether ``driver`` and ``ledger`` landed on the same ring or not is
+invisible to the caller: the placement engine shards groups across
+rings, and the gateway links carry cross-ring invocations with the same
+voted, duplicate-suppressed, exactly-once semantics as intra-ring ones.
+"""
+
+import random
+
+from repro.cluster.config import ClusterConfig, ClusterConfigError
+from repro.cluster.gateway import GatewayLink
+from repro.cluster.obsbridge import RingObservability
+from repro.cluster.placement import PlacementEngine
+from repro.core.immune import ImmuneSystem
+from repro.crypto.keystore import KeyStore
+from repro.sim.rng import RngStreams
+from repro.sim.scheduler import Scheduler
+
+
+class ClusterDirectory:
+    """Where every object group lives: group -> (home ring, replicas)."""
+
+    def __init__(self):
+        self._entries = {}
+
+    def record(self, group_name, ring, procs):
+        if group_name in self._entries:
+            raise ClusterConfigError("group %r already bound" % group_name)
+        self._entries[group_name] = (ring, tuple(procs))
+
+    def home_ring(self, group_name):
+        entry = self._entries.get(group_name)
+        return None if entry is None else entry[0]
+
+    def procs(self, group_name):
+        entry = self._entries.get(group_name)
+        return () if entry is None else entry[1]
+
+    def groups(self):
+        return sorted(self._entries)
+
+    def to_dict(self):
+        return {
+            name: {"ring": ring, "procs": list(procs)}
+            for name, (ring, procs) in sorted(self._entries.items())
+        }
+
+
+class ClusterHandle:
+    """A deployed group plus its home ring — quacks like a GroupHandle."""
+
+    def __init__(self, handle, ring):
+        self.handle = handle
+        self.ring = ring
+
+    @property
+    def group_name(self):
+        return self.handle.group_name
+
+    @property
+    def interface(self):
+        return self.handle.interface
+
+    @property
+    def reference(self):
+        return self.handle.reference
+
+    @property
+    def replica_procs(self):
+        return self.handle.replica_procs
+
+    @property
+    def servants(self):
+        return self.handle.servants
+
+    def __repr__(self):
+        return "ClusterHandle(%s on ring %d, procs %s)" % (
+            self.group_name,
+            self.ring,
+            list(self.replica_procs),
+        )
+
+
+class ClusterManager:
+    """A multi-ring Immune deployment on one shared simulation."""
+
+    def __init__(
+        self,
+        config=None,
+        obs=None,
+        net_params=None,
+        fault_plans=None,
+        trace_kinds=frozenset(),
+    ):
+        """``fault_plans`` maps ring index -> :class:`FaultPlan` so
+        drills can crash or corrupt processors of a specific ring."""
+        self.config = config or ClusterConfig()
+        self.scheduler = Scheduler()
+        self.obs = obs
+        self.streams = RngStreams(self.config.seed)
+        self.directory = ClusterDirectory()
+        self.placement = PlacementEngine(self.config)
+        ring0 = self.config.ring_config(0)
+        if self.config.case.replicated:
+            self.keystore = KeyStore(
+                random.Random(self.config.seed),
+                modulus_bits=self.config.modulus_bits,
+                digest_fn=ring0.digest_fn(),
+            )
+        else:
+            self.keystore = None
+
+        self.rings = []
+        self._ring_obs = []
+        fault_plans = fault_plans or {}
+        for ring_index in range(self.config.num_rings):
+            ring_obs = (
+                RingObservability(obs, ring_index) if obs is not None else None
+            )
+            immune = ImmuneSystem(
+                self.config.procs_per_ring,
+                config=self.config.ring_config(ring_index),
+                net_params=net_params,
+                fault_plan=fault_plans.get(ring_index),
+                trace_kinds=trace_kinds,
+                obs=ring_obs,
+                scheduler=self.scheduler,
+                proc_ids=self.config.ring_pids(ring_index),
+                keystore=self.keystore,
+                streams=self.streams.spawn("ring%d" % ring_index),
+            )
+            self.rings.append(immune)
+            self._ring_obs.append(ring_obs)
+
+        #: pid -> Processor across all rings (pids are globally unique)
+        self.processors = {}
+        for immune in self.rings:
+            self.processors.update(immune.processors)
+
+        #: (low ring, high ring) -> GatewayLink, every ring pair joined
+        self.links = {}
+        for a in range(self.config.num_rings):
+            for b in range(a + 1, self.config.num_rings):
+                pairs = list(
+                    zip(self.config.gateway_pids(a), self.config.gateway_pids(b))
+                )
+                self.links[(a, b)] = GatewayLink(self, a, b, pairs)
+
+        self._started = False
+        if obs is not None:
+            obs.registry.add_collector(self._collect_cluster_metrics)
+
+    # ------------------------------------------------------------------
+    # observability plumbing
+    # ------------------------------------------------------------------
+
+    def ring_obs(self, ring_index):
+        """The ring-scoped observability view (None when obs is off)."""
+        return self._ring_obs[ring_index]
+
+    def _collect_cluster_metrics(self, registry):
+        registry.gauge("cluster.rings").set(self.config.num_rings)
+        registry.gauge("cluster.groups").set(len(self.directory.groups()))
+        registry.gauge("cluster.gateway_links").set(len(self.links))
+        for (a, b), link in sorted(self.links.items()):
+            forwarded = sum(
+                r.forward_ab.stats["forwarded"] + r.forward_ba.stats["forwarded"]
+                for r in link.replicas
+            )
+            registry.gauge("cluster.link_forwarded", link="%d-%d" % (a, b)).set(
+                forwarded
+            )
+
+    # ------------------------------------------------------------------
+    # deployment: one API over all rings
+    # ------------------------------------------------------------------
+
+    def deploy(self, group_name, interface, servant_factory, ring=None, on_procs=None, degree=None):
+        """Deploy a replicated server group, sharded by the placement
+        engine unless ``ring`` (and optionally ``on_procs``) pins it."""
+        ring, procs = self._resolve_placement(group_name, ring, on_procs, degree)
+        handle = self.rings[ring].deploy(group_name, interface, servant_factory, procs)
+        self._bind(group_name, ring, procs)
+        return ClusterHandle(handle, ring)
+
+    def deploy_client(self, group_name, ring=None, on_procs=None, degree=None):
+        """Deploy a replicated client group (a pure invoker)."""
+        ring, procs = self._resolve_placement(group_name, ring, on_procs, degree)
+        handle = self.rings[ring].deploy_client(group_name, procs)
+        self._bind(group_name, ring, procs)
+        return ClusterHandle(handle, ring)
+
+    def _resolve_placement(self, group_name, ring, on_procs, degree):
+        if on_procs is not None:
+            if ring is None:
+                rings = {self.config.ring_of_pid(pid) for pid in on_procs}
+                if len(rings) != 1:
+                    raise ClusterConfigError(
+                        "replicas of %r span rings %s: an object group must "
+                        "live entirely on one ring" % (group_name, sorted(rings))
+                    )
+                ring = rings.pop()
+            else:
+                for pid in on_procs:
+                    if self.config.ring_of_pid(pid) != ring:
+                        raise ClusterConfigError(
+                            "replica pid %d of %r is not on ring %d"
+                            % (pid, group_name, ring)
+                        )
+            placement = self.placement.place(
+                group_name, degree=len(list(on_procs)), ring=ring
+            )
+            # The caller's explicit pids override the hash's choice of
+            # processors; the engine still accounts the ring's load.
+            return ring, tuple(on_procs)
+        placement = self.placement.place(group_name, degree=degree, ring=ring)
+        return placement.ring, placement.procs
+
+    def _bind(self, group_name, ring, procs):
+        """Record the group and register it as *foreign* everywhere else.
+
+        On every other ring the group's members are that ring's gateway
+        pids for the link toward the home ring: re-originated copies
+        then flow through the existing voters, which take a majority
+        across the gateway replicas.
+        """
+        self.directory.record(group_name, ring, procs)
+        for other in range(self.config.num_rings):
+            if other == ring:
+                continue
+            link = self.links[(min(ring, other), max(ring, other))]
+            gateway_members = link.side_pids(other)
+            for manager in self.rings[other].managers.values():
+                manager.register_group(group_name, gateway_members)
+
+    # ------------------------------------------------------------------
+    # invocation: stubs work across rings transparently
+    # ------------------------------------------------------------------
+
+    def client_stubs(self, client_handle, interface, server_handle):
+        """Stubs for every client replica; the target may be any ring."""
+        client = getattr(client_handle, "handle", client_handle)
+        server = getattr(server_handle, "handle", server_handle)
+        ring = self.directory.home_ring(client.group_name)
+        return self.rings[ring].client_stubs(client, interface, server)
+
+    def group(self, group_name):
+        ring = self.directory.home_ring(group_name)
+        if ring is None:
+            raise KeyError(group_name)
+        return ClusterHandle(self.rings[ring].group(group_name), ring)
+
+    # ------------------------------------------------------------------
+    # gateway fault injection (drills and the bench's Byzantine section)
+    # ------------------------------------------------------------------
+
+    def corrupt_gateway(self, ring_a, ring_b, index=0, at_time=None):
+        """Make one gateway replica of a link Byzantine.
+
+        With ``at_time`` the corruption is armed through the scheduler;
+        otherwise it is immediate.  Ground truth is recorded against the
+        replica's pid on the *destination-facing* side of each ring it
+        feeds, under the ``value_fault`` kind the scorecard attributes.
+        """
+        link = self.links[(min(ring_a, ring_b), max(ring_a, ring_b))]
+        replica = link.replicas[index]
+        if at_time is None:
+            replica.corrupt = True
+        else:
+            self.scheduler.at(
+                at_time,
+                lambda: setattr(replica, "corrupt", True),
+                label="gateway.corrupt",
+            )
+        if self.obs is not None and self.obs.forensics is not None:
+            from repro.obs.forensics import fault_id_for
+
+            when = at_time if at_time is not None else self.scheduler.now
+            for pid in (replica.pid_a, replica.pid_b):
+                self.obs.forensics.record_ground_truth(
+                    fault_id_for("value_fault", pid, when), "value_fault", pid, when
+                )
+        return replica
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self):
+        if self._started:
+            return self
+        self._started = True
+        for immune in self.rings:
+            immune.start()
+        return self
+
+    def run(self, until=None, max_events=None):
+        if not self._started:
+            self.start()
+        self.scheduler.run(until=until, max_events=max_events)
+        return self
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def surviving_members(self, ring_index):
+        return self.rings[ring_index].surviving_members()
+
+    def group_members(self, group_name, ring_index=None):
+        """The group's membership as seen on its home ring (or another)."""
+        if ring_index is None:
+            ring_index = self.directory.home_ring(group_name)
+        return self.rings[ring_index].group_members(group_name)
+
+    def gateway_stats(self):
+        return {
+            "%d-%d" % key: link.stats() for key, link in sorted(self.links.items())
+        }
+
+    def __repr__(self):
+        return "ClusterManager(%r, %d groups)" % (
+            self.config,
+            len(self.directory.groups()),
+        )

@@ -1,0 +1,159 @@
+"""Ring-scoped views of one shared observability bundle.
+
+A cluster's rings share one :class:`~repro.obs.metrics.MetricsRegistry`,
+one :class:`~repro.obs.spans.SpanTracker`, and (optionally) one
+:class:`~repro.obs.forensics.ForensicsHub`; each ring's stack sees them
+through the views here:
+
+* :class:`RingScopedRegistry` stamps ``ring=<index>`` onto every metric
+  a ring's layers create, so the one snapshot separates per-ring token
+  rates, vote counts, and network load without any protocol layer
+  learning about clusters;
+* the span tracker is shared *unscoped* on purpose: spans are keyed by
+  logical invocation ``(source_group, op_num)``, so a cross-ring
+  invocation's marks from both rings land on the same span and the
+  gateway hop appears as just another stage;
+* :class:`RingScopedForensics` stamps each processor's flight recorder
+  with its shard index, which the merged timeline needs because every
+  ring numbers its token sequences from zero.
+
+The views satisfy exactly the observability API the facade and the
+protocol layers use (``registry.counter/gauge/histogram``,
+``add_collector``, ``obs.spans``, ``obs.forensics.recorder``,
+``obs.bind``), so :class:`~repro.core.immune.ImmuneSystem` takes one
+per ring with no changes to its wiring.
+"""
+
+
+class RingScopedRegistry:
+    """A labelling proxy over a shared :class:`MetricsRegistry`.
+
+    Metric creation injects ``ring=<index>``; collectors registered
+    through the view are re-invoked with the view itself, so the derived
+    gauges they refresh are ring-labelled too.  :attr:`unscoped` exposes
+    the shared root for genuinely simulation-global consumers — the
+    scheduler attaches its metrics to the root exactly once no matter
+    how many ring views are bound to it.
+    """
+
+    def __init__(self, registry, ring_index):
+        #: the shared root registry (never another scoped view)
+        self._root = getattr(registry, "unscoped", registry)
+        self.ring = ring_index
+
+    @property
+    def unscoped(self):
+        return self._root
+
+    def _scoped(self, labels):
+        if "ring" not in labels:
+            labels["ring"] = self.ring
+        return labels
+
+    # ------------------------------------------------------------------
+    # metric creation: the hot-path API every layer uses
+    # ------------------------------------------------------------------
+
+    def counter(self, name, **labels):
+        return self._root.counter(name, **self._scoped(labels))
+
+    def gauge(self, name, **labels):
+        return self._root.gauge(name, **self._scoped(labels))
+
+    def histogram(self, name, **labels):
+        return self._root.histogram(name, **self._scoped(labels))
+
+    # ------------------------------------------------------------------
+    # collectors and queries
+    # ------------------------------------------------------------------
+
+    def add_collector(self, fn):
+        self._root.add_collector(lambda _root, fn=fn, view=self: fn(view))
+
+    def collect(self):
+        self._root.collect()
+
+    def snapshot(self):
+        return self._root.snapshot()
+
+    def family(self, name):
+        """This ring's instances of family ``name``."""
+        want = ("ring", self.ring)
+        return [m for m in self._root.family(name) if want in m.labels]
+
+    def total(self, name):
+        return sum(metric.value for metric in self.family(name))
+
+    def value(self, name, **labels):
+        return self._root.value(name, **self._scoped(labels))
+
+    # ------------------------------------------------------------------
+    # sampling passthrough (series live on the shared root)
+    # ------------------------------------------------------------------
+
+    @property
+    def samples(self):
+        return self._root.samples
+
+    def sample_every(self, scheduler, period, max_samples=None):
+        return self._root.sample_every(scheduler, period, max_samples=max_samples)
+
+    def stop_sampling(self):
+        self._root.stop_sampling()
+
+
+class RingScopedForensics:
+    """A shard-stamping view of the shared :class:`ForensicsHub`."""
+
+    def __init__(self, hub, shard):
+        self._hub = hub
+        self.shard = shard
+
+    @property
+    def hub(self):
+        return self._hub
+
+    def recorder(self, proc_id):
+        recorder = self._hub.recorder(proc_id)
+        recorder.shard = self.shard
+        return recorder
+
+    def recorders(self):
+        return self._hub.recorders()
+
+    def record_ground_truth(self, fault_id, kind, culprit, time):
+        return self._hub.record_ground_truth(fault_id, kind, culprit, time)
+
+    def ground_truth(self):
+        return self._hub.ground_truth()
+
+    def bind(self, scheduler):
+        self._hub.bind(scheduler)
+        return self
+
+    def now(self):
+        return self._hub.now()
+
+
+class RingObservability:
+    """The per-ring observability bundle handed to one ring's facade.
+
+    Structurally an :class:`~repro.obs.Observability`: a ``registry``
+    (ring-scoped), ``spans`` (shared), ``forensics`` (shard-stamping
+    view or ``None``), and ``bind``.
+    """
+
+    def __init__(self, obs, ring_index):
+        self._obs = obs
+        self.ring = ring_index
+        self.registry = RingScopedRegistry(obs.registry, ring_index)
+        self.spans = obs.spans
+        self.forensics = (
+            RingScopedForensics(obs.forensics, ring_index)
+            if obs.forensics is not None
+            else None
+        )
+
+    def bind(self, scheduler):
+        self._obs.bind(scheduler)
+        return self

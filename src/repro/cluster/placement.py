@@ -1,0 +1,190 @@
+"""Deterministic object-group placement across the cluster's rings.
+
+Rendezvous (highest-random-weight) hashing maps every object group onto
+one ring and onto a replica set inside that ring — the deterministic
+group-to-processor mapping of Chord-style BFT service placement,
+adapted to rings: each (group, bucket) pair gets a pseudo-random score
+from a cryptographic hash, and the highest score wins.  The properties
+that matter here:
+
+* **deterministic** — the mapping is a pure function of the group name,
+  the bucket id, and a salt: every run of a seeded simulation (and both
+  perf modes) places identically;
+* **uniform** — scores are i.i.d. uniform per bucket, so groups spread
+  evenly across rings without coordination;
+* **minimally disruptive** — removing a ring only moves the groups that
+  lived on it (every other group's winning score is unchanged), the
+  classic rendezvous stability property.
+
+The engine honours the paper's resilience arithmetic per ring: a group
+is placed entirely within one ring (its voting and total order stay
+single-ring), at most one replica per processor, and replicas prefer
+the ring's non-gateway processors so a convicted gateway's exclusion
+does not also cost application replicas.
+"""
+
+import hashlib
+
+from repro.cluster.config import ClusterConfigError
+
+
+def rendezvous_score(group_name, bucket, salt=0):
+    """The deterministic weight of ``group_name`` on ``bucket``.
+
+    SHA-256 of the (group, bucket, salt) triple, truncated to 64 bits —
+    stable across processes, platforms, and Python hash randomisation
+    (``hash()`` would not be).
+    """
+    token = ("%s|%s|%d" % (group_name, bucket, salt)).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+
+
+def rendezvous_ranking(group_name, buckets, salt=0):
+    """Buckets ordered by descending score (ties by bucket id)."""
+    return sorted(buckets, key=lambda b: (-rendezvous_score(group_name, b, salt), b))
+
+
+class Placement:
+    """Where one object group lives: its ring and its replica pids."""
+
+    __slots__ = ("group_name", "ring", "procs")
+
+    def __init__(self, group_name, ring, procs):
+        self.group_name = group_name
+        self.ring = ring
+        self.procs = tuple(procs)
+
+    def to_dict(self):
+        return {
+            "group": self.group_name,
+            "ring": self.ring,
+            "procs": list(self.procs),
+        }
+
+    def __repr__(self):
+        return "Placement(%s -> ring %d on %s)" % (
+            self.group_name,
+            self.ring,
+            list(self.procs),
+        )
+
+
+class PlacementEngine:
+    """Assigns groups to rings and replica sets, deterministically.
+
+    Two modes:
+
+    * ``rendezvous`` — pure highest-random-weight choice of the ring;
+      uniform in expectation, minimally disruptive under ring changes;
+    * ``balanced`` — least-loaded ring first (load = replicas already
+      placed), rendezvous score as the deterministic tie-break; used by
+      the benches, where an even split across few rings matters more
+      than stability.
+
+    Within the chosen ring, replica pids are the group's rendezvous
+    ranking over the ring's processors, preferring non-gateway pids
+    whenever enough exist.
+    """
+
+    MODES = ("rendezvous", "balanced")
+
+    def __init__(self, cluster_config, mode=None, salt=None):
+        self.config = cluster_config
+        self.mode = mode if mode is not None else cluster_config.placement_mode
+        if self.mode not in self.MODES:
+            raise ClusterConfigError(
+                "unknown placement mode %r (choose from %s)" % (self.mode, self.MODES)
+            )
+        self.salt = salt if salt is not None else cluster_config.placement_salt
+        #: ring index -> replicas placed so far (balanced mode's load)
+        self.load = {ring: 0 for ring in range(cluster_config.num_rings)}
+        #: group name -> Placement, in placement order
+        self.placements = {}
+
+    # ------------------------------------------------------------------
+    # the mapping
+    # ------------------------------------------------------------------
+
+    def choose_ring(self, group_name):
+        """The ring ``group_name`` maps onto (without recording it)."""
+        rings = range(self.config.num_rings)
+        if self.mode == "balanced":
+            return min(
+                rings,
+                key=lambda r: (
+                    self.load[r],
+                    -rendezvous_score(group_name, "ring:%d" % r, self.salt),
+                    r,
+                ),
+            )
+        return max(
+            rings,
+            key=lambda r: (rendezvous_score(group_name, "ring:%d" % r, self.salt), -r),
+        )
+
+    def replica_procs(self, group_name, ring, degree):
+        """The group's replica pids on ``ring``: its rendezvous ranking
+        of the ring's processors, non-gateway pids first."""
+        workers = list(self.config.worker_pids(ring))
+        gateways = [
+            p for p in self.config.ring_pids(ring) if p not in set(workers)
+        ]
+        ranked = rendezvous_ranking(group_name, workers, self.salt)
+        if degree > len(ranked):
+            # Not enough non-gateway processors; spill onto gateway
+            # hosts (still at most one replica per processor).
+            ranked = ranked + rendezvous_ranking(group_name, gateways, self.salt)
+        if degree > len(ranked):
+            raise ClusterConfigError(
+                "group %r needs %d replicas but ring %d has %d processors"
+                % (group_name, degree, ring, len(ranked))
+            )
+        return tuple(sorted(ranked[:degree]))
+
+    def place(self, group_name, degree=None, ring=None):
+        """Choose and record the placement of one object group.
+
+        ``degree`` defaults to the cluster's replication degree; ``ring``
+        pins the group to a specific ring (the multi-branch bank pins
+        branches; ordinary groups let the hash decide).
+        """
+        if group_name in self.placements:
+            raise ClusterConfigError("group %r already placed" % group_name)
+        if degree is None:
+            degree = (
+                self.config.replication_degree if self.config.case.replicated else 1
+            )
+        if degree < 1:
+            raise ClusterConfigError("degree must be positive")
+        if self.config.case.voting and degree < 2:
+            raise ClusterConfigError(
+                "majority voting on %r needs at least 2 replicas" % group_name
+            )
+        if ring is None:
+            ring = self.choose_ring(group_name)
+        else:
+            self.config._check_ring(ring)
+        placement = Placement(group_name, ring, self.replica_procs(group_name, ring, degree))
+        self.placements[group_name] = placement
+        self.load[ring] += degree
+        return placement
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+
+    def distribution(self):
+        """ring index -> sorted group names, for reports and tests."""
+        out = {ring: [] for ring in range(self.config.num_rings)}
+        for name in sorted(self.placements):
+            out[self.placements[name].ring].append(name)
+        return out
+
+    def to_dict(self):
+        return {
+            "mode": self.mode,
+            "salt": self.salt,
+            "placements": [
+                self.placements[name].to_dict() for name in sorted(self.placements)
+            ],
+        }

@@ -122,15 +122,21 @@ class ImmuneConfig:
                 % (num_processors, allowed, expected_faulty)
             )
 
-    def validate_placement(self, group_name, proc_ids, num_processors):
-        """Check the replica-placement rules for one object group."""
+    def validate_placement(self, group_name, proc_ids, processors):
+        """Check the replica-placement rules for one object group.
+
+        ``processors`` is either the processor count (ids are then
+        ``0..n-1``) or the collection of valid processor ids — cluster
+        rings number their processors from disjoint global ranges.
+        """
         if len(set(proc_ids)) != len(proc_ids):
             raise ConfigError(
                 "at most one replica of %r per processor (got %r)"
                 % (group_name, list(proc_ids))
             )
+        valid = range(processors) if isinstance(processors, int) else processors
         for pid in proc_ids:
-            if not 0 <= pid < num_processors:
+            if pid not in valid:
                 raise ConfigError("replica of %r on unknown processor %d" % (group_name, pid))
         if self.case.replicated and self.case.voting and len(proc_ids) < 2:
             raise ConfigError(

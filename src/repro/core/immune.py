@@ -63,11 +63,25 @@ class ImmuneSystem:
         trace_kinds=None,
         trace_max_records=None,
         obs=None,
+        scheduler=None,
+        proc_ids=None,
+        keystore=None,
+        streams=None,
     ):
+        """Build one deployment.
+
+        ``scheduler``, ``proc_ids``, ``keystore`` and ``streams`` exist
+        for :mod:`repro.cluster`: a multi-ring cluster runs several
+        deployments on one shared scheduler, numbers their processors
+        from disjoint global id ranges, shares one key directory (a
+        gateway host is the same principal on both of its rings), and
+        hands each ring an independent RNG namespace.  Standalone use
+        leaves all four at their defaults.
+        """
         self.config = config or ImmuneConfig()
         self.config.validate_system(num_processors)
-        self.scheduler = Scheduler()
-        self.streams = RngStreams(self.config.seed)
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
+        self.streams = streams if streams is not None else RngStreams(self.config.seed)
         self.trace = TraceLog(
             self.scheduler, enabled_kinds=trace_kinds, max_records=trace_max_records
         )
@@ -93,7 +107,7 @@ class ImmuneSystem:
 
         replicated = self.config.case.replicated
         if replicated:
-            self.keystore = KeyStore(
+            self.keystore = keystore if keystore is not None else KeyStore(
                 random.Random(self.config.seed),
                 modulus_bits=self.config.modulus_bits,
                 digest_fn=self.config.digest_fn(),
@@ -101,7 +115,15 @@ class ImmuneSystem:
         else:
             self.keystore = None
 
-        for pid in range(num_processors):
+        if proc_ids is None:
+            proc_ids = range(num_processors)
+        proc_ids = list(proc_ids)
+        if len(proc_ids) != num_processors:
+            raise ConfigError(
+                "proc_ids names %d processors but num_processors is %d"
+                % (len(proc_ids), num_processors)
+            )
+        for pid in proc_ids:
             processor = Processor(pid, self.scheduler)
             self.network.add_processor(processor)
             self.processors[pid] = processor
@@ -175,7 +197,7 @@ class ImmuneSystem:
             raise ConfigError("group name %r already in use" % group_name)
         if not self.config.case.replicated:
             on_procs = list(on_procs)[:1]
-        self.config.validate_placement(group_name, on_procs, len(self.processors))
+        self.config.validate_placement(group_name, on_procs, self.processors)
         servants = {}
         for pid in on_procs:
             servant = servant_factory(pid)
@@ -208,7 +230,7 @@ class ImmuneSystem:
             raise ConfigError("passive replication needs a replicated case")
         if group_name in self._groups or group_name == BASE_GROUP:
             raise ConfigError("group name %r already in use" % group_name)
-        self.config.validate_placement(group_name, on_procs, len(self.processors))
+        self.config.validate_placement(group_name, on_procs, self.processors)
         servants = {}
         for pid in on_procs:
             servant = servant_factory(pid)
@@ -238,7 +260,7 @@ class ImmuneSystem:
         if not self.config.case.replicated:
             on_procs = list(on_procs)[:1]
         if self.config.case.replicated:
-            self.config.validate_placement(group_name, on_procs, len(self.processors))
+            self.config.validate_placement(group_name, on_procs, self.processors)
             for manager in self.managers.values():
                 manager.register_group(group_name, on_procs)
             for pid in on_procs:

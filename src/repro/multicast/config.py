@@ -78,6 +78,11 @@ class MulticastConfig:
         #: token rotations a processor's aru may stall before it is
         #: suspected of receive omission
         self.aru_stall_rotations = aru_stall_rotations
+        #: which timeouts were left for :meth:`resolve_timeouts` to
+        #: derive (as opposed to explicitly chosen by the caller, which
+        #: scaling must never overwrite)
+        self._derived_rotation = token_rotation_timeout is None
+        self._derived_membership = membership_round_timeout is None
 
     def resolve_timeouts(self, cost_model, num_processors):
         """Fill in default timeouts scaled to crypto costs and ring size.
@@ -86,13 +91,28 @@ class MulticastConfig:
         a signature at the SIGNATURES level; timeouts must comfortably
         exceed that or correct-but-slow processors get suspected,
         violating eventual strong accuracy.
+
+        Derived defaults track the *largest* ring size they have been
+        resolved for: a cluster hands rings of different sizes their own
+        config, but a config reused across resolutions (a 2-processor
+        ring resolved before a 7-processor one, or a ring growing on
+        rejoin) must rescale upward rather than keep the stale smaller
+        timeout and falsely suspect correct-but-slow processors.
+        Explicitly configured timeouts are never touched.
         """
         per_visit = self.token_hold_cost + self.token_idle_delay + 200e-6
         if self.security.signatures_enabled:
             per_visit += cost_model.sign_cost() + cost_model.verify_cost() * 2
         rotation = per_visit * max(num_processors, 2)
-        if self.token_rotation_timeout is None:
-            self.token_rotation_timeout = 8 * rotation
-        if self.membership_round_timeout is None:
-            self.membership_round_timeout = 12 * rotation
+        if self._derived_rotation:
+            derived = 8 * rotation
+            if self.token_rotation_timeout is None or derived > self.token_rotation_timeout:
+                self.token_rotation_timeout = derived
+        if self._derived_membership:
+            derived = 12 * rotation
+            if (
+                self.membership_round_timeout is None
+                or derived > self.membership_round_timeout
+            ):
+                self.membership_round_timeout = derived
         return self

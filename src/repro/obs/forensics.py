@@ -77,9 +77,9 @@ def _jsonable(value):
 class ForensicEvent:
     """One structured entry in a processor's flight recorder."""
 
-    __slots__ = ("time", "proc", "ring", "seq", "etype", "fields")
+    __slots__ = ("time", "proc", "ring", "seq", "etype", "fields", "shard")
 
-    def __init__(self, time, proc, ring, seq, etype, fields):
+    def __init__(self, time, proc, ring, seq, etype, fields, shard=0):
         self.time = time
         self.proc = proc
         #: ring view id in force at the recording processor
@@ -88,6 +88,10 @@ class ForensicEvent:
         self.seq = seq
         self.etype = etype
         self.fields = fields
+        #: which token ring of a multi-ring cluster recorded the event.
+        #: Every ring numbers its token sequences from zero, so ``seq``
+        #: alone collides across shards; a single-ring run is shard 0.
+        self.shard = shard
 
     def to_dict(self):
         out = {
@@ -95,6 +99,7 @@ class ForensicEvent:
             "proc": self.proc,
             "ring": self.ring,
             "seq": self.seq,
+            "shard": self.shard,
             "event": self.etype,
         }
         for key in sorted(self.fields):
@@ -106,9 +111,10 @@ class ForensicEvent:
 
     def __repr__(self):
         body = ", ".join("%s=%r" % kv for kv in sorted(self.fields.items()))
-        return "ForensicEvent(t=%.6f P%d ring=%d seq=%s %s: %s)" % (
+        return "ForensicEvent(t=%.6f P%d shard=%d ring=%d seq=%s %s: %s)" % (
             self.time,
             self.proc,
+            self.shard,
             self.ring,
             self.seq,
             self.etype,
@@ -140,6 +146,7 @@ class FlightRecorder:
         "last_dropped_time",
         "ring",
         "seq",
+        "shard",
         "_hub",
     )
 
@@ -152,6 +159,9 @@ class FlightRecorder:
         self.last_dropped_time = None
         self.ring = 0
         self.seq = 0
+        #: cluster shard (token-ring index) this processor belongs to;
+        #: set once by :mod:`repro.cluster` when the ring is assembled
+        self.shard = 0
         self._hub = hub
 
     def set_context(self, ring=None, seq=None):
@@ -163,7 +173,8 @@ class FlightRecorder:
 
     def record(self, etype, **fields):
         event = ForensicEvent(
-            self._hub.now(), self.proc_id, self.ring, self.seq, etype, fields
+            self._hub.now(), self.proc_id, self.ring, self.seq, etype, fields,
+            shard=self.shard,
         )
         self.events.append(event)
         if len(self.events) > self.capacity:
@@ -278,8 +289,12 @@ def merge_timeline(hub):
     """Splice every recorder into one totally-ordered event timeline.
 
     The order is total and deterministic: events sort by sim-time, then
-    token sequence, then processor, then event type, then serialised
-    fields — so two runs of the same seed produce the identical list.
+    shard, then token sequence, then processor, then event type, then
+    serialised fields — so two runs of the same seed produce the
+    identical list.  The shard precedes the token sequence because every
+    ring of a cluster numbers its token sequences from zero: at equal
+    sim-times, seq alone would interleave unrelated rings' events
+    non-causally.
     """
     events = []
     for recorder in hub.recorders():
@@ -287,6 +302,7 @@ def merge_timeline(hub):
     events.sort(
         key=lambda e: (
             e.time,
+            e.shard,
             e.seq,
             e.proc,
             e.etype,
@@ -567,12 +583,31 @@ def render_timeline(timeline, show_all=False):
     """
     lines = []
     add = lines.append
+    multi_shard = any(event.shard for event in timeline)
     add("== merged forensic timeline " + "=" * 34)
-    add("  %-10s %-5s %-5s %-4s %-22s %s" % ("time", "ring", "seq", "proc", "event", "detail"))
+    header = ("time", "ring", "seq", "proc", "event", "detail")
+    if multi_shard:
+        add("  %-10s %-5s %-5s %-5s %-4s %-22s %s" % ((header[0], "shard") + header[1:]))
+    else:
+        add("  %-10s %-5s %-5s %-4s %-22s %s" % header)
     suppressed = 0
     for event in timeline:
         if not show_all and event.etype in _TIMELINE_HIDDEN:
             suppressed += 1
+            continue
+        if multi_shard:
+            add(
+                "  %-10s S%-4d %-5d %-5d P%-3d %-22s %s"
+                % (
+                    "%.4f" % event.time,
+                    event.shard,
+                    event.ring,
+                    event.seq,
+                    event.proc,
+                    event.etype,
+                    _fmt_fields(event),
+                )
+            )
             continue
         add(
             "  %-10s %-5d %-5d P%-3d %-22s %s"
@@ -710,7 +745,8 @@ def render_report(report, show_all=False):
             d["seq"],
             d["event"],
             {k: v for k, v in d.items()
-             if k not in ("time", "proc", "ring", "seq", "event")},
+             if k not in ("time", "proc", "ring", "seq", "shard", "event")},
+            shard=d.get("shard", 0),
         )
         for d in timeline_dicts
     ]

@@ -22,16 +22,26 @@ was never reached stays in :meth:`SpanTracker.open_spans` and is
 reported by the exporter with the last stage it did reach.
 """
 
-#: the stages of one invocation, in causal order
+#: the stages of one invocation, in causal order.  The gateway stages
+#: are only marked for cross-ring invocations in a :mod:`repro.cluster`
+#: deployment: a cluster gateway votes the source ring's copies and
+#: re-originates the winner on the destination ring (and the reply makes
+#: the mirror-image hop back); intra-ring invocations skip both, which
+#: :meth:`InvocationSpan.breakdown` already handles (unmarked stages are
+#: omitted).
 SPAN_STAGES = (
-    "intercepted",       # client RM intercepted the outbound GIOP request
-    "multicast_queued",  # handed to the secure multicast endpoint
-    "ordered",           # first totally-ordered delivery at a server-side RM
-    "voted",             # invocation majority vote decided (or dup-filtered)
-    "dispatched",        # winning frame injected into a server ORB
-    "executed",          # servant finished; reply frame left the server RM
-    "reply_ordered",     # first response copy totally-ordered at a client RM
-    "reply_voted",       # response vote decided; reply handed to client ORB
+    "intercepted",          # client RM intercepted the outbound GIOP request
+    "multicast_queued",     # handed to the secure multicast endpoint
+    "gateway_forwarded",    # cross-ring: gateway re-originated the voted
+                            # invocation on the destination ring
+    "ordered",              # first totally-ordered delivery at a server-side RM
+    "voted",                # invocation majority vote decided (or dup-filtered)
+    "dispatched",           # winning frame injected into a server ORB
+    "executed",             # servant finished; reply frame left the server RM
+    "reply_gateway_forwarded",  # cross-ring: gateway re-originated the voted
+                                # reply on the client's ring
+    "reply_ordered",        # first response copy totally-ordered at a client RM
+    "reply_voted",          # response vote decided; reply handed to client ORB
 )
 
 _STAGE_INDEX = {stage: i for i, stage in enumerate(SPAN_STAGES)}

@@ -96,6 +96,10 @@ class Scheduler:
         #: label -> executed count, maintained only while metrics are
         #: attached (keeps the uninstrumented hot loop unchanged)
         self.events_by_label = None
+        #: root registries already holding our collector — a cluster
+        #: binds several ring-scoped views of one registry to the one
+        #: shared scheduler, which must not duplicate the collector
+        self._metrics_roots = []
 
     @property
     def now(self):
@@ -183,7 +187,14 @@ class Scheduler:
         """
         if self.events_by_label is None:
             self.events_by_label = {}
-        registry.add_collector(self._collect_metrics)
+        # Scheduler metrics are simulation-global, so a ring-scoped
+        # registry view attaches its *unscoped* root (no ring label) and
+        # repeat attachments of the same root are no-ops.
+        root = getattr(registry, "unscoped", registry)
+        if any(root is seen for seen in self._metrics_roots):
+            return
+        self._metrics_roots.append(root)
+        root.add_collector(self._collect_metrics)
 
     def _collect_metrics(self, registry):
         registry.gauge("scheduler.now").set(self._now)

@@ -121,3 +121,173 @@ class BankServant:
         servant = cls()
         servant.set_state(state)
         return servant
+
+
+class MultiBranchBank:
+    """The bank at cluster scale: branches sharded across token rings.
+
+    Each branch is its own replicated object group, placed on a ring by
+    the cluster's deterministic placement engine (or pinned with
+    ``branch_rings``), while one replicated teller client group drives
+    them all.  A transfer between branches on different rings is a
+    *cross-ring* flow: the withdraw travels to the source branch's ring
+    through the gateway, and the deposit — issued by each teller replica
+    upon its own voted withdraw reply, keeping the replicas' operation
+    numbering aligned — travels to the destination branch's ring.  The
+    conservation invariant (total assets across all branches constant)
+    then checks gateway exactly-once end-to-end: a duplicated deposit or
+    a lost withdraw would break it.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        branches=3,
+        accounts_per_branch=2,
+        initial_balance=100,
+        branch_rings=None,
+        teller_ring=None,
+    ):
+        self.cluster = cluster
+        if isinstance(branches, int):
+            branches = ["branch%d" % i for i in range(branches)]
+        self.branch_names = list(branches)
+        self.accounts_per_branch = accounts_per_branch
+        self.initial_balance = initial_balance
+        branch_rings = branch_rings or {}
+
+        def factory(pid):
+            # Every replica seeds the same accounts: ids 1..k at the
+            # initial balance (deterministic, so replicas coincide).
+            servant = BankServant()
+            for k in range(accounts_per_branch):
+                servant.open_account("acct%d" % k, initial_balance)
+            return servant
+
+        self.branches = {}
+        for name in self.branch_names:
+            self.branches[name] = cluster.deploy(
+                "bank.%s" % name, BANK_IDL, factory, ring=branch_rings.get(name)
+            )
+        self.teller = cluster.deploy_client("bank.teller", ring=teller_ring)
+        self._stubs = {
+            name: cluster.client_stubs(self.teller, BANK_IDL, handle)
+            for name, handle in self.branches.items()
+        }
+        #: operation outcomes: [(op label, reply value)] per teller reply
+        self.replies = []
+        self.failed = []
+
+    # ------------------------------------------------------------------
+    # scheduled operations (all replicas driven identically)
+    # ------------------------------------------------------------------
+
+    def _record(self, label, value, ok):
+        self.replies.append((label, value))
+        if not ok(value):
+            self.failed.append((label, value))
+
+    def schedule_deposit(self, at, branch, account, amount):
+        label = "deposit:%s#%d+%d@%g" % (branch, account, amount, at)
+
+        def fire():
+            for pid, stub in self._stubs[branch]:
+                stub.deposit(
+                    account,
+                    amount,
+                    reply_to=lambda v: self._record(label, v, lambda r: r >= 0),
+                )
+
+        self.cluster.scheduler.at(at, fire, label="bank.deposit")
+
+    def schedule_withdraw(self, at, branch, account, amount):
+        label = "withdraw:%s#%d-%d@%g" % (branch, account, amount, at)
+
+        def fire():
+            for pid, stub in self._stubs[branch]:
+                stub.withdraw(
+                    account,
+                    amount,
+                    reply_to=lambda v: self._record(label, v, lambda r: r >= 0),
+                )
+
+        self.cluster.scheduler.at(at, fire, label="bank.withdraw")
+
+    def schedule_transfer(self, at, src_branch, src_account, dst_branch, dst_account, amount):
+        """A cross-branch transfer: withdraw, then deposit on the reply.
+
+        Each teller replica issues the deposit from its *own* withdraw
+        reply, so every replica issues the same operation sequence and
+        the operation numbers stay aligned — the property duplicate
+        suppression and voting rely on.  If the withdraw is refused
+        (overdraft), no replica deposits and the transfer is a no-op.
+
+        Space scheduled operations further apart than one invocation
+        round trip: the chained deposit is issued when each replica's
+        own reply arrives, so another operation firing inside that
+        window would interleave differently at different replicas and
+        break the aligned numbering (the standard determinism contract
+        for replicated clients that invoke from callbacks).
+        """
+        label = "transfer:%s#%d->%s#%d:%d@%g" % (
+            src_branch, src_account, dst_branch, dst_account, amount, at,
+        )
+        dst_stub_by_pid = dict(self._stubs[dst_branch])
+
+        def fire():
+            for pid, stub in self._stubs[src_branch]:
+                dst_stub = dst_stub_by_pid[pid]
+
+                def on_withdrawn(value, dst_stub=dst_stub):
+                    self._record(label + ":w", value, lambda r: r >= 0)
+                    if value >= 0:
+                        dst_stub.deposit(
+                            dst_account,
+                            amount,
+                            reply_to=lambda v: self._record(
+                                label + ":d", v, lambda r: r >= 0
+                            ),
+                        )
+
+                stub.withdraw(src_account, amount, reply_to=on_withdrawn)
+
+        self.cluster.scheduler.at(at, fire, label="bank.transfer")
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    def expected_total(self):
+        return (
+            len(self.branch_names) * self.accounts_per_branch * self.initial_balance
+        )
+
+    def branch_totals(self):
+        """branch -> {pid: total_assets} straight from the servants."""
+        return {
+            name: {
+                pid: servant.total_assets()
+                for pid, servant in sorted(handle.servants.items())
+            }
+            for name, handle in self.branches.items()
+        }
+
+    def replicas_agree(self):
+        """Every branch's replicas hold identical state."""
+        for name, handle in self.branches.items():
+            states = {servant.get_state() for servant in handle.servants.values()}
+            if len(states) > 1:
+                return False
+        return True
+
+    def conserved(self):
+        """Total assets across branches equal the seeded total, at every
+        replica (transfers move money, never create or destroy it)."""
+        totals = self.branch_totals()
+        grand = 0
+        for name, by_pid in totals.items():
+            per_replica = set(by_pid.values())
+            if len(per_replica) != 1:
+                return False
+            grand += per_replica.pop()
+        return grand == self.expected_total()

@@ -1,0 +1,156 @@
+"""End-to-end tests for multi-ring clusters and cross-ring gateways."""
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterManager
+from repro.core.config import SurvivabilityCase
+from repro.obs import Observability
+from repro.obs.forensics import ForensicsHub, merge_timeline
+from repro.orb.idl import InterfaceDef, OperationDef, ParamDef
+
+COUNTER_IDL = InterfaceDef(
+    "Counter",
+    [OperationDef("add", [ParamDef("amount", "long")], result="long")],
+)
+
+
+class CounterServant:
+    def __init__(self):
+        self.value = 0
+        self.calls = 0
+
+    def add(self, amount):
+        self.calls += 1
+        self.value += amount
+        return self.value
+
+
+def build(case=SurvivabilityCase.MAJORITY_VOTING, obs=None, server_ring=1, client_ring=0):
+    cluster = ClusterManager(ClusterConfig(num_rings=2, case=case, seed=5), obs=obs)
+    server = cluster.deploy(
+        "counter", COUNTER_IDL, lambda pid: CounterServant(), ring=server_ring
+    )
+    client = cluster.deploy_client("driver", ring=client_ring)
+    cluster.start()
+    return cluster, server, client
+
+
+def drive(cluster, client, server, operations, spacing=0.25):
+    """Schedule ``operations`` spaced adds; returns the replies list."""
+    stubs = cluster.client_stubs(client, COUNTER_IDL, server)
+    replies = []
+    for k in range(operations):
+        def fire():
+            for pid, stub in stubs:
+                if not cluster.processors[pid].crashed:
+                    stub.add(1, reply_to=replies.append)
+
+        cluster.scheduler.at(0.1 + k * spacing, fire, label="test.drive")
+    cluster.run(until=0.1 + operations * spacing + 1.5)
+    return replies
+
+
+def expected_replies(operations, client):
+    return sorted(
+        total for total in range(1, operations + 1) for _ in client.replica_procs
+    )
+
+
+@pytest.mark.parametrize(
+    "case",
+    [
+        SurvivabilityCase.ACTIVE_REPLICATION,
+        SurvivabilityCase.MAJORITY_VOTING,
+        SurvivabilityCase.FULL_SURVIVABILITY,
+    ],
+)
+def test_cross_ring_invocation_is_exactly_once_with_voted_replies(case):
+    cluster, server, client = build(case=case)
+    replies = drive(cluster, client, server, operations=3)
+    # Exactly-once at every server replica despite three gateway copies.
+    for pid, servant in server.servants.items():
+        assert servant.calls == 3, "replica on P%d saw duplicates or losses" % pid
+    # Every client replica received every voted reply.
+    assert sorted(replies) == expected_replies(3, client)
+
+
+def test_same_ring_invocation_never_touches_the_gateways():
+    cluster, server, client = build(server_ring=0, client_ring=0)
+    replies = drive(cluster, client, server, operations=2)
+    assert sorted(replies) == expected_replies(2, client)
+    for link_stats in cluster.gateway_stats().values():
+        for replica in link_stats["replicas"]:
+            assert replica["a_to_b"]["forwarded"] == 0
+            assert replica["b_to_a"]["forwarded"] == 0
+
+
+def test_hash_placed_groups_work_wherever_they_land():
+    cluster = ClusterManager(ClusterConfig(num_rings=2, seed=9))
+    server = cluster.deploy("svc", COUNTER_IDL, lambda pid: CounterServant())
+    client = cluster.deploy_client("drv")
+    cluster.start()
+    assert cluster.directory.home_ring("svc") == server.ring
+    replies = drive(cluster, client, server, operations=2)
+    assert sorted(replies) == expected_replies(2, client)
+
+
+def test_byzantine_gateway_is_outvoted_and_attributed():
+    obs = Observability(forensics=ForensicsHub())
+    cluster = ClusterManager(
+        ClusterConfig(num_rings=2, case=SurvivabilityCase.FULL_SURVIVABILITY, seed=5),
+        obs=obs,
+    )
+    server = cluster.deploy(
+        "counter", COUNTER_IDL, lambda pid: CounterServant(), ring=1
+    )
+    client = cluster.deploy_client("driver", ring=0)
+    corrupt = cluster.corrupt_gateway(0, 1, index=0)
+    cluster.start()
+    replies = drive(cluster, client, server, operations=4)
+
+    # The corrupted copies were outvoted: service stayed exactly-once
+    # and every client replica got the correct totals.
+    for servant in server.servants.values():
+        assert servant.calls == 4
+    assert sorted(replies) == expected_replies(4, client)
+
+    # The value-fault machinery attributed the corrupt gateway's pid on
+    # the ring where its forged copies were voted against the majority.
+    timeline = merge_timeline(obs.forensics)
+    culprits = {e.get("culprit") for e in timeline if e.etype == "vote_divergence"}
+    assert culprits == {corrupt.pid_b}
+    # Gateway hops were recorded on both shards of the merged timeline.
+    hop_shards = {e.shard for e in timeline if e.etype == "gateway_forward"}
+    assert hop_shards == {0, 1}
+
+
+def test_metrics_are_ring_labelled_and_spans_cover_gateway_stages():
+    obs = Observability()
+    cluster = ClusterManager(ClusterConfig(num_rings=2, seed=5), obs=obs)
+    server = cluster.deploy(
+        "counter", COUNTER_IDL, lambda pid: CounterServant(), ring=1
+    )
+    client = cluster.deploy_client("driver", ring=0)
+    cluster.start()
+    drive(cluster, client, server, operations=2)
+
+    # Every RM metric carries its ring label; both rings reported.
+    rings_seen = {
+        dict(m.labels).get("ring") for m in obs.registry.family("rm.invocations_sent")
+    }
+    assert rings_seen == {0, 1}
+    assert obs.registry.total("gateway.forwarded") > 0
+    for metric in obs.registry.family("gateway.forwarded"):
+        assert "ring" in dict(metric.labels)
+
+    # One shared span tracker ties both rings' marks to one invocation:
+    # the cross-ring stages appear in pipeline order.
+    driver_spans = [s for s in obs.spans.closed_spans() if s.key[0] == "driver"]
+    assert driver_spans, "no closed invocation spans for the driver group"
+    span = driver_spans[0]
+    stages = list(span.to_dict()["stages"])
+    for stage in ("gateway_forwarded", "reply_gateway_forwarded"):
+        assert stage in stages
+    assert stages.index("gateway_forwarded") < stages.index("ordered")
+    assert stages.index("executed") < stages.index("reply_gateway_forwarded")
+    assert stages.index("reply_gateway_forwarded") < stages.index("reply_voted")

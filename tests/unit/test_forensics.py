@@ -299,3 +299,81 @@ def test_render_report_round_trips_through_json():
     reloaded = json.loads(blob)
     assert render_report(reloaded) == render_report(report)
     assert "precision=1.000" in render_report(report)
+
+
+# ----------------------------------------------------------------------
+# multi-ring (sharded) timelines
+# ----------------------------------------------------------------------
+
+
+def test_merge_disambiguates_token_seq_collisions_across_shards():
+    # Two rings number their token sequences independently from zero, so
+    # identical (time, seq) pairs collide across rings; the shard id
+    # must order them deterministically.
+    hub, sched = make_hub()
+    ring0 = hub.recorder(0)
+    ring1 = hub.recorder(6)
+    ring1.shard = 1
+    for recorder in (ring0, ring1):
+        recorder.set_context(ring=1, seq=7)
+    sched.now = 1.0
+    ring1.record("token_send", visit=1)
+    ring0.record("token_send", visit=1)
+    sched.now = 0.5
+    ring1.record("delivery_commit", seq=7)
+    timeline = merge_timeline(hub)
+    assert [(e.time, e.shard, e.proc) for e in timeline] == [
+        (0.5, 1, 6),
+        (1.0, 0, 0),
+        (1.0, 1, 6),
+    ]
+    assert [e.to_dict() for e in merge_timeline(hub)] == [
+        e.to_dict() for e in timeline
+    ]
+
+
+def test_merge_interleaves_two_shards_by_sim_time():
+    hub, sched = make_hub()
+    ring0 = hub.recorder(1)
+    ring1 = hub.recorder(8)
+    ring1.shard = 1
+    for t, recorder in [(0.1, ring0), (0.2, ring1), (0.3, ring0), (0.4, ring1)]:
+        sched.now = t
+        recorder.record("suspect", suspect=2, reason="fail_to_send")
+    assert [(e.time, e.shard) for e in merge_timeline(hub)] == [
+        (0.1, 0),
+        (0.2, 1),
+        (0.3, 0),
+        (0.4, 1),
+    ]
+
+
+def test_render_timeline_shows_shard_column_only_when_sharded():
+    from repro.obs.forensics import render_timeline
+
+    hub, sched = make_hub()
+    sched.now = 1.0
+    hub.recorder(0).record("suspect", suspect=3, reason="fail_to_send")
+    single = render_timeline(merge_timeline(hub))
+    assert "shard" not in single
+
+    ring1 = hub.recorder(6)
+    ring1.shard = 1
+    sched.now = 2.0
+    ring1.record("suspect", suspect=9, reason="mutant_token")
+    multi = render_timeline(merge_timeline(hub))
+    assert "shard" in multi
+    assert "S1" in multi
+
+
+def test_shard_survives_report_round_trip():
+    hub, sched = make_hub()
+    ring1 = hub.recorder(6)
+    ring1.shard = 1
+    sched.now = 1.5
+    ring1.record("suspect", suspect=9, reason="mutant_token")
+    report = build_report(hub, scenario={"scenario": "shards"})
+    reloaded = json.loads(json.dumps(report, sort_keys=True))
+    assert render_report(reloaded) == render_report(report)
+    event = reloaded["timeline"][0]
+    assert event["shard"] == 1

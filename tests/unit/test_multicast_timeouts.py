@@ -1,0 +1,94 @@
+"""Regression tests for ring-size-scaled default timeout derivation.
+
+The bug class pinned here: a :class:`MulticastConfig`'s derived
+``token_rotation_timeout`` used to be fixed once, so a config resolved
+for a small ring and then reused for a bigger one (cluster rings of
+different sizes, or a ring growing on rejoin) kept a timeout one full
+rotation of the bigger ring could exceed — correct-but-slow processors
+got suspected, violating eventual strong accuracy.
+"""
+
+import pytest
+
+from repro.crypto.costmodel import CryptoCostModel
+from repro.multicast.config import MulticastConfig, SecurityLevel
+
+COSTS = CryptoCostModel(modulus_bits=256)
+
+
+def resolved(num_processors, security=SecurityLevel.SIGNATURES, **kwargs):
+    config = MulticastConfig(security=security, **kwargs)
+    config.resolve_timeouts(COSTS, num_processors)
+    return config
+
+
+def test_derived_timeouts_scale_with_ring_size():
+    small = resolved(2)
+    large = resolved(7)
+    # One rotation visits every processor, so a 7-processor ring needs
+    # proportionally longer timeouts than a 2-processor one.
+    assert large.token_rotation_timeout > small.token_rotation_timeout
+    assert large.membership_round_timeout > small.membership_round_timeout
+    assert large.token_rotation_timeout == pytest.approx(
+        small.token_rotation_timeout * 7 / 2
+    )
+
+
+def test_derived_timeouts_exceed_a_full_rotation():
+    for n in (2, 7):
+        config = resolved(n)
+        per_visit = (
+            config.token_hold_cost
+            + config.token_idle_delay
+            + 200e-6
+            + COSTS.sign_cost()
+            + 2 * COSTS.verify_cost()
+        )
+        assert config.token_rotation_timeout >= 4 * per_visit * n
+        assert config.membership_round_timeout > config.token_rotation_timeout
+
+
+def test_signature_costs_lengthen_derived_timeouts():
+    assert (
+        resolved(7, security=SecurityLevel.SIGNATURES).token_rotation_timeout
+        > resolved(7, security=SecurityLevel.DIGESTS).token_rotation_timeout
+    )
+
+
+def test_reresolving_for_a_bigger_ring_grows_the_derived_timeout():
+    config = resolved(2)
+    small_rotation = config.token_rotation_timeout
+    small_membership = config.membership_round_timeout
+    config.resolve_timeouts(COSTS, 7)
+    assert config.token_rotation_timeout > small_rotation
+    assert config.membership_round_timeout > small_membership
+
+
+def test_reresolving_for_a_smaller_ring_keeps_the_larger_timeout():
+    # Growth-only: shrinking the membership must never tighten timeouts
+    # under a live protocol (a pending round still expects the old bound).
+    config = resolved(7)
+    big_rotation = config.token_rotation_timeout
+    big_membership = config.membership_round_timeout
+    config.resolve_timeouts(COSTS, 2)
+    assert config.token_rotation_timeout == big_rotation
+    assert config.membership_round_timeout == big_membership
+
+
+def test_explicit_timeouts_are_never_overwritten():
+    config = MulticastConfig(
+        token_rotation_timeout=1.0, membership_round_timeout=2.0
+    )
+    config.resolve_timeouts(COSTS, 2)
+    config.resolve_timeouts(COSTS, 7)
+    assert config.token_rotation_timeout == 1.0
+    assert config.membership_round_timeout == 2.0
+
+
+def test_partially_explicit_config_derives_only_the_missing_timeout():
+    config = MulticastConfig(token_rotation_timeout=1.0)
+    config.resolve_timeouts(COSTS, 7)
+    assert config.token_rotation_timeout == 1.0
+    assert config.membership_round_timeout is not None
+    config.resolve_timeouts(COSTS, 12)
+    assert config.token_rotation_timeout == 1.0
