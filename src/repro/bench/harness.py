@@ -70,6 +70,7 @@ def run_packet_driver_case(
     config=None,
     obs=None,
     fault_plan=None,
+    sample_period=None,
 ):
     """Measure server throughput for one (case, interval) point.
 
@@ -82,6 +83,10 @@ def run_packet_driver_case(
     *under* the injected faults; combined with an ``obs`` carrying a
     :class:`~repro.obs.forensics.ForensicsHub`, the run yields a full
     fault-attribution timeline next to the performance numbers.
+    ``sample_period`` (simulated seconds; needs ``obs``) additionally
+    records the ring-buffered time series over the measurement run, so
+    throughput points come with their curves — the paper's steady-state
+    window becomes visible instead of assumed.
     """
     if config is None:
         config = ImmuneConfig(
@@ -116,9 +121,15 @@ def run_packet_driver_case(
     start = 0.02  # let the initial membership install first
     end = start + warmup + duration
     driver.run_for(start, warmup + duration)
+    if sample_period is not None:
+        if obs is None:
+            raise ValueError("sample_period requires an obs bundle")
+        obs.registry.sample_series(immune.scheduler, period=sample_period)
     wall_begin = time.perf_counter()
     immune.run(until=end + 0.05)
     run_wall_seconds = time.perf_counter() - wall_begin
+    if sample_period is not None:
+        obs.registry.series_sampler.stop()
 
     measured_pid = server.replica_procs[0]
     sink = sinks[measured_pid]

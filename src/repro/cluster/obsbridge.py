@@ -98,6 +98,15 @@ class RingScopedRegistry:
     def sample_every(self, scheduler, period, max_samples=None):
         return self._root.sample_every(scheduler, period, max_samples=max_samples)
 
+    @property
+    def series_sampler(self):
+        return self._root.series_sampler
+
+    def sample_series(self, scheduler, period, **kwargs):
+        """Start the shared root's time-series sampler; per-ring curves
+        come from the ``ring=<index>`` labels the views stamp."""
+        return self._root.sample_series(scheduler, period, **kwargs)
+
     def stop_sampling(self):
         self._root.stop_sampling()
 

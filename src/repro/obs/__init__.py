@@ -27,6 +27,8 @@ multicast, voting, and crypto layers::
 """
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.series import Series, SeriesSampler, sparkline
+from repro.obs.slo import DEFAULT_SLOS, BurnRule, SLOEngine, SLOSpec
 from repro.obs.spans import SPAN_STAGES, InvocationSpan, SpanTracker
 
 
@@ -55,12 +57,19 @@ class Observability:
 
 
 __all__ = [
+    "BurnRule",
     "Counter",
+    "DEFAULT_SLOS",
     "Gauge",
     "Histogram",
     "InvocationSpan",
     "MetricsRegistry",
     "Observability",
+    "SLOEngine",
+    "SLOSpec",
     "SPAN_STAGES",
+    "Series",
+    "SeriesSampler",
     "SpanTracker",
+    "sparkline",
 ]

@@ -49,13 +49,98 @@ def _merge_histograms(registry, name):
     }
 
 
-def summarize(obs, crypto_costs=None):
+#: telemetry families previewed as dashboard sparklines: (family, mode)
+#: where mode is how the family's series collapse into one curve
+_PREVIEW_FAMILIES = (
+    ("multicast.delivered", "rate"),
+    ("net.bytes_sent", "rate"),
+    ("span.end_to_end_seconds", "mean"),
+    ("span.opened", "backlog"),
+    ("detector.suspicions", "value"),
+    ("scheduler.queue_pending", "gauge"),
+)
+
+
+def family_curve(sampler, name, mode):
+    """Collapse one family's series into a single curve over the ticks.
+
+    Modes: ``rate`` (summed counter delta per second), ``value``
+    (summed cumulative value), ``gauge`` (summed latest values),
+    ``mean`` (histogram per-tick mean of new observations), ``backlog``
+    (``span.opened`` minus ``span.closed`` — invocations in flight).
+    """
+    times = list(sampler.times)
+    series_list = sampler.family(name)
+    if mode == "backlog":
+        closed = sampler.family("span.closed")
+        return [
+            sum(s.value_at(t) for s in series_list)
+            - sum(s.value_at(t) for s in closed)
+            for t in times
+        ]
+    if not series_list:
+        return [0.0] * len(times)
+    out = []
+    previous_time = None
+    for t in times:
+        if mode in ("gauge", "value"):
+            out.append(sum(s.value_at(t) for s in series_list))
+        elif mode == "rate":
+            if previous_time is None:
+                out.append(0.0)
+            else:
+                dt = t - previous_time
+                delta = sum(s.delta(previous_time, t) for s in series_list)
+                out.append(delta / dt if dt > 0 else 0.0)
+        elif mode == "mean":
+            if previous_time is None:
+                out.append(0.0)
+            else:
+                count = sum(s.delta(previous_time, t) for s in series_list)
+                total = sum(s.delta_sum(previous_time, t) for s in series_list)
+                out.append(total / count if count else 0.0)
+        previous_time = t
+    return out
+
+
+def _telemetry_preview(sampler, width=48):
+    """The dashboard's sparkline block, computed once into the summary."""
+    from repro.obs.series import sparkline
+
+    rows = []
+    for name, mode in _PREVIEW_FAMILIES:
+        curve = family_curve(sampler, name, mode)
+        if not curve or not any(curve):
+            continue
+        rows.append({
+            "name": name,
+            "mode": mode,
+            "spark": sparkline(curve, width=width),
+            "min": min(curve),
+            "max": max(curve),
+            "last": curve[-1],
+        })
+    return {
+        "period": sampler.period,
+        "samples": len(sampler.times),
+        "dropped_ticks": sampler.dropped_ticks,
+        "preview": rows,
+    }
+
+
+def summarize(obs, crypto_costs=None, series=None, slo=None, critpath=None):
     """Aggregate the registry and spans into one report dict.
 
     ``crypto_costs`` is an optional
     :class:`~repro.crypto.costmodel.CryptoCostModel`, printed alongside
     the measured crypto counters so the run's bill can be read against
-    its calibration.
+    its calibration.  ``series`` (a
+    :class:`~repro.obs.series.SeriesSampler`), ``slo`` (an
+    :meth:`~repro.obs.slo.SLOEngine.evaluate` result) and ``critpath``
+    (an :func:`~repro.obs.critpath.attribute_spans` report) fold the
+    telemetry, alerting, and cause-attribution views into the same
+    summary the dashboard renders — so ``--input`` replays see them
+    too.
     """
     registry = obs.registry
     registry.collect()
@@ -68,9 +153,21 @@ def summarize(obs, crypto_costs=None):
         for stage, count, mean, peak in spans.stage_breakdown()
     ]
     open_by_stage = {}
+    now = registry.value("scheduler.now")
+    stuck = []
     for span in spans.open_spans():
         last = span.last_stage or "(no stage)"
         open_by_stage[last] = open_by_stage.get(last, 0) + 1
+        since = max(span.marks.values()) if span.marks else None
+        stuck.append({
+            "key": list(span.key),
+            "oneway": span.oneway,
+            "last_stage": last,
+            "since": since,
+            "stalled_seconds": (now - since) if since is not None else None,
+        })
+    stuck.sort(key=lambda s: (s["since"] if s["since"] is not None else -1.0,
+                              str(s["key"])))
 
     summary = {
         "stage_breakdown": stage_breakdown,
@@ -80,6 +177,7 @@ def summarize(obs, crypto_costs=None):
             "open": len(spans.open_spans()),
             "evicted": spans.evicted,
             "open_by_last_stage": dict(sorted(open_by_stage.items())),
+            "stuck": stuck,
         },
         "amortisation": {
             "messages_sent": messages_sent,
@@ -145,16 +243,27 @@ def summarize(obs, crypto_costs=None):
     }
     if crypto_costs is not None:
         summary["crypto"]["calibration"] = crypto_costs.describe()
+    if registry_capped := getattr(registry, "capped_label_sets", None):
+        summary["capped_label_sets"] = dict(sorted(registry_capped.items()))
     if getattr(obs, "forensics", None) is not None:
         from repro.obs.forensics import recorder_summary
 
         # Flight-recorder buffer health (event/drop counts) only; the
         # full timeline/scorecard report is the forensics CLI's output.
         summary["forensics"] = recorder_summary(obs.forensics)
+    if series is None:
+        series = getattr(registry, "series_sampler", None)
+    if series is not None:
+        summary["telemetry"] = _telemetry_preview(series)
+    if slo is not None:
+        summary["slo"] = slo
+    if critpath is not None:
+        summary["critical_path"] = critpath
     return summary
 
 
-def export_jsonl(path, obs, run_info=None, crypto_costs=None):
+def export_jsonl(path, obs, run_info=None, crypto_costs=None, series=None,
+                 slo=None, critpath=None):
     """Write the whole observability state to ``path`` as JSONL.
 
     Record types, one JSON object per line, each tagged ``record``:
@@ -162,8 +271,13 @@ def export_jsonl(path, obs, run_info=None, crypto_costs=None):
     * ``run`` — the caller-supplied run description (seed, case, ...);
     * ``metric`` — one metric instance (name, kind, labels, values);
     * ``sample`` — one periodic snapshot ``(time, metrics)``;
+    * ``series`` — one metric instance's ring-buffered time series
+      (when a series sampler ran);
     * ``span`` — one invocation span (open spans included);
     * ``stage`` — one row of the aggregated Figure 7 breakdown;
+    * ``alert`` — one SLO burn-rate alert (when an SLO evaluation was
+      supplied);
+    * ``critpath`` — the critical-path cause attribution report;
     * ``summary`` — the :func:`summarize` dict.
 
     Returns the summary dict so callers can render the dashboard from
@@ -171,7 +285,11 @@ def export_jsonl(path, obs, run_info=None, crypto_costs=None):
     """
     registry = obs.registry
     registry.collect()
-    summary = summarize(obs, crypto_costs=crypto_costs)
+    if series is None:
+        series = getattr(registry, "series_sampler", None)
+    summary = summarize(
+        obs, crypto_costs=crypto_costs, series=series, slo=slo, critpath=critpath
+    )
     with open(path, "w") as fh:
         def emit(record):
             fh.write(json.dumps(record, sort_keys=True) + "\n")
@@ -181,10 +299,18 @@ def export_jsonl(path, obs, run_info=None, crypto_costs=None):
             emit({"record": "metric", **entry})
         for time, snapshot in registry.samples:
             emit({"record": "sample", "time": time, "metrics": snapshot})
+        if series is not None:
+            for entry in series.to_dicts():
+                emit({"record": "series", "period": series.period, **entry})
         for span in obs.spans.spans():
             emit({"record": "span", **span.to_dict()})
         for row in summary["stage_breakdown"]:
             emit({"record": "stage", **row})
+        if slo is not None:
+            for alert in slo["alerts"]:
+                emit(alert)  # already tagged record="alert"
+        if critpath is not None:
+            emit({"record": "critpath", **critpath})
         emit({"record": "summary", **summary})
     return summary
 
@@ -218,6 +344,19 @@ def render_dashboard(summary, run_info=None):
             "%s=%s" % (k, run_info[k]) for k in sorted(run_info)
         ))
 
+    telemetry = summary.get("telemetry")
+    if telemetry is not None:
+        header("Telemetry (sampled every %gs, %d samples)" % (
+            telemetry["period"], telemetry["samples"]))
+        for row in telemetry["preview"]:
+            label = "%s (%s)" % (row["name"], row["mode"])
+            add("  %-32s %s" % (label, row["spark"]))
+            add("  %-32s min %-10.4g max %-10.4g last %.4g" % (
+                "", row["min"], row["max"], row["last"]))
+        if telemetry["dropped_ticks"]:
+            add("  (%d oldest samples evicted by the ring buffer)"
+                % telemetry["dropped_ticks"])
+
     header("Invocation latency breakdown (Figure 7 stages)")
     rows = summary["stage_breakdown"]
     if rows:
@@ -239,6 +378,37 @@ def render_dashboard(summary, run_info=None):
         spans["closed"], spans["open"], spans["evicted"]))
     for stage, count in spans["open_by_last_stage"].items():
         add("    open at %-16s %d" % (stage, count))
+    # Stuck invocations: spans whose terminal stage never arrived are
+    # listed with the last stage they did reach — visible in the
+    # dashboard, not just the JSON.
+    stuck = spans.get("stuck") or []
+    shown = 0
+    for entry in stuck:
+        if shown >= 10:
+            add("    (... %d more stuck invocations in the JSON)"
+                % (len(stuck) - shown))
+            break
+        shown += 1
+        stalled = entry.get("stalled_seconds")
+        add("    stuck %-24s at %-20s%s" % (
+            ":".join(str(part) for part in entry["key"]),
+            entry["last_stage"],
+            "" if stalled is None else "  stalled %s" % _fmt_seconds(stalled),
+        ))
+
+    critpath = summary.get("critical_path")
+    if critpath is not None:
+        from repro.obs.critpath import render_critpath
+
+        add("")
+        add(render_critpath(critpath))
+
+    slo = summary.get("slo")
+    if slo is not None:
+        from repro.obs.slo import render_slo
+
+        add("")
+        add(render_slo(slo))
 
     header("Token signature amortisation (Table 3)")
     amort = summary["amortisation"]

@@ -448,6 +448,23 @@ def _reconfig_durations(timeline):
     return durations
 
 
+def first_suspicion_times(timeline):
+    """First suspicion time per ``(suspect, reason)`` — and per suspect
+    overall under ``(suspect, None)``.
+
+    This is the detector's answer to *when did you know?*; the SLO
+    layer compares its burn-rate alert fire times against exactly these
+    instants (via the scorecard's per-fault ``detection_time``).
+    """
+    first = {}
+    for event in timeline:
+        if event.etype == "suspect":
+            suspect = event.get("suspect")
+            first.setdefault((suspect, event.get("reason")), event.time)
+            first.setdefault((suspect, None), event.time)
+    return first
+
+
 def score(hub, timeline=None):
     """Score the detector against the injected-fault ground truth.
 
@@ -466,12 +483,7 @@ def score(hub, timeline=None):
     accusations = _final_accusations(timeline)
     accused = set(accusations)
 
-    first_suspicion = {}
-    for event in timeline:
-        if event.etype == "suspect":
-            suspect = event.get("suspect")
-            first_suspicion.setdefault((suspect, event.get("reason")), event.time)
-            first_suspicion.setdefault((suspect, None), event.time)
+    first_suspicion = first_suspicion_times(timeline)
 
     per_fault = []
     latencies = []

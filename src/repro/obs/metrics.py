@@ -20,6 +20,7 @@ clocks, no randomness, and snapshots are emitted in sorted order.
 """
 
 import math
+import warnings
 
 
 class Counter:
@@ -109,6 +110,21 @@ class Histogram:
     def mean(self):
         return self.sum / self.count if self.count else 0.0
 
+    def bucket_counts(self):
+        """The log-bucket occupancy as a sorted tuple of ``(index, count)``.
+
+        The zero/negative bucket (index ``None``) sorts first.  This is
+        the state the time-series sampler snapshots: two snapshots'
+        bucket deltas give the distribution of observations *between*
+        them, which windowed quantiles and SLO bad-fractions need.
+        """
+        return tuple(
+            sorted(
+                self._buckets.items(),
+                key=lambda kv: (-math.inf if kv[0] is None else kv[0]),
+            )
+        )
+
     def quantile(self, q):
         """The q-quantile (0 <= q <= 1), within one bucket's resolution."""
         if not self.count:
@@ -174,12 +190,26 @@ class MetricsRegistry:
     registry that produces the final totals.
     """
 
-    def __init__(self):
+    #: default cap on distinct label-sets per metric family.  High-
+    #: cardinality labels (an invocation id, a timestamp) would otherwise
+    #: silently multiply the export by the workload size.
+    MAX_LABEL_SETS = 512
+
+    def __init__(self, max_label_sets=None):
         self._metrics = {}
         self._collectors = []
         #: [(sim_time, snapshot)] appended by the periodic sampler
         self.samples = []
         self._sampler = None
+        #: the attached :class:`~repro.obs.series.SeriesSampler`, if any
+        self.series_sampler = None
+        self.max_label_sets = (
+            self.MAX_LABEL_SETS if max_label_sets is None else max_label_sets
+        )
+        #: family name -> distinct label-set count
+        self._family_counts = {}
+        #: family name -> label-sets refused once the family hit the cap
+        self.capped_label_sets = {}
 
     # ------------------------------------------------------------------
     # metric creation
@@ -189,8 +219,34 @@ class MetricsRegistry:
         key = (name, tuple(sorted(labels.items())))
         metric = self._metrics.get(key)
         if metric is None:
+            count = self._family_counts.get(name, 0)
+            if count >= self.max_label_sets:
+                # Cardinality guard: warn once per family, then funnel
+                # every further label-set into one overflow instance so
+                # the family keeps counting without growing the export.
+                if name not in self.capped_label_sets:
+                    warnings.warn(
+                        "metric family %r exceeded %d label sets; further "
+                        "label sets are folded into labels={'overflow': True}"
+                        % (name, self.max_label_sets),
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+                self.capped_label_sets[name] = self.capped_label_sets.get(name, 0) + 1
+                overflow_key = (name, (("overflow", True),))
+                metric = self._metrics.get(overflow_key)
+                if metric is None:
+                    metric = _KINDS[kind](name, overflow_key[1])
+                    self._metrics[overflow_key] = metric
+                elif metric.kind != kind:
+                    raise ValueError(
+                        "metric %r already registered as a %s, not a %s"
+                        % (name, metric.kind, kind)
+                    )
+                return metric
             metric = _KINDS[kind](name, key[1])
             self._metrics[key] = metric
+            self._family_counts[name] = count + 1
         elif metric.kind != kind:
             raise ValueError(
                 "metric %r already registered as a %s, not a %s"
@@ -210,6 +266,14 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+
+    def metrics(self):
+        """Every ``((family, labels), metric)`` pair, unordered.
+
+        The time-series sampler walks this on every tick; consumers that
+        need determinism (snapshots, exports) sort by key themselves.
+        """
+        return self._metrics.items()
 
     def family(self, name):
         """Every metric instance of family ``name``, sorted by labels."""
@@ -257,23 +321,46 @@ class MetricsRegistry:
     def sample_every(self, scheduler, period, max_samples=None):
         """Record ``(sim_time, snapshot)`` into :attr:`samples` each period.
 
-        The sampler reschedules itself, so always bound the simulation
-        with ``run(until=...)`` (as every bench does).  ``max_samples``
-        stops the series after that many snapshots.
+        Rides the scheduler's repeating-event hook
+        (:meth:`~repro.sim.scheduler.Scheduler.every`), so always bound
+        the simulation with ``run(until=...)`` (as every bench does).
+        ``max_samples`` stops the series after that many snapshots.
         """
 
         def tick():
             if max_samples is not None and len(self.samples) >= max_samples:
-                self._sampler = None
+                if self._sampler is not None:
+                    self._sampler.cancel()
+                    self._sampler = None
                 return
             self.collect()
             self.samples.append((scheduler.now, self.snapshot()))
-            self._sampler = scheduler.after(period, tick, label="obs.sample")
 
-        self._sampler = scheduler.after(period, tick, label="obs.sample")
+        self._sampler = scheduler.every(period, tick, label="obs.sample")
         return self._sampler
+
+    def sample_series(self, scheduler, period, **kwargs):
+        """Attach a :class:`~repro.obs.series.SeriesSampler` and start it.
+
+        Unlike :meth:`sample_every` (full snapshots, unbounded), the
+        series sampler keeps one bounded ring-buffered curve per metric
+        instance — the time dimension of the telemetry layer.  The
+        sampler is remembered as :attr:`series_sampler` so the exporter
+        and report can find it; calling again replaces (and stops) the
+        previous one.
+        """
+        from repro.obs.series import SeriesSampler
+
+        if self.series_sampler is not None:
+            self.series_sampler.stop()
+        sampler = SeriesSampler(self, period, **kwargs)
+        sampler.start(scheduler)
+        self.series_sampler = sampler
+        return sampler
 
     def stop_sampling(self):
         if self._sampler is not None:
             self._sampler.cancel()
             self._sampler = None
+        if self.series_sampler is not None:
+            self.series_sampler.stop()

@@ -9,13 +9,19 @@ running twice with the same arguments produces byte-identical JSONL.
 
 Usage::
 
-    PYTHONPATH=src python -m repro.obs.report [--quick] [--seed N]
+    PYTHONPATH=src python -m repro.obs.report [--quick] [--slo] [--seed N]
                                               [--out report.jsonl]
                                               [--input report.jsonl]
                                               [--json]
 
-``--input`` renders the dashboard from an existing JSONL artefact
-instead of running a new simulation; ``--json`` prints the summary as
+``--slo`` switches to the telemetry drill: a server replica crashes in
+the middle of the workload, the time-series sampler records every
+metric curve, the SLO engine evaluates burn-rate alerts over them, the
+critical-path attributor decomposes stage latency into protocol
+causes, and the dashboard gains the telemetry/critical-path/SLO
+sections (including the alert-vs-detector scorecard).  ``--input``
+renders the dashboard from an existing JSONL artefact instead of
+running a new simulation; ``--json`` prints the summary as
 machine-readable JSON (parity with ``python -m repro.obs.forensics``).
 """
 
@@ -26,8 +32,10 @@ import sys
 from repro.bench.latency import ECHO_IDL, EchoServant
 from repro.core.config import ImmuneConfig, SurvivabilityCase
 from repro.core.immune import ImmuneSystem
-from repro.obs import Observability
+from repro.obs import Observability, SLOEngine
+from repro.obs.critpath import attribute_spans
 from repro.obs.export import export_jsonl, render_dashboard
+from repro.obs.forensics import ForensicsHub, merge_timeline, score
 from repro.sim.faults import FaultPlan, LinkFaults
 
 
@@ -72,10 +80,17 @@ def load_summary(path):
     return summary, run_info
 
 
-def run_instrumented(seed=11, quick=False):
-    """One observed case-4 run; returns ``(immune, obs, run_info)``."""
-    operations = 8 if quick else 24
-    spacing = 0.05
+def run_instrumented(seed=11, quick=False, slo=False):
+    """One observed case-4 run; returns ``(immune, obs, run_info)``.
+
+    With ``slo=True`` the scenario changes shape: a forensics hub is
+    attached, the workload stretches out, and a *server* replica
+    crashes in the middle of it — so invocations are in flight while
+    the ring stalls, which is exactly the window the burn-rate alerts
+    must catch before the fault detector attributes the crash.
+    """
+    operations = 8 if quick else (40 if slo else 24)
+    spacing = 0.1 if slo else 0.05
     config = ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=seed)
 
     # A lossy window mid-run exercises drop counters and the
@@ -86,13 +101,21 @@ def run_instrumented(seed=11, quick=False):
         active_until=0.6,
     )
     run_until = 0.1 + operations * spacing + 2.0
-    if not quick:
+    crash_at = None
+    if slo:
+        # Crash server replica P2 with the workload still flowing:
+        # in-flight invocations stall on the broken token ring until
+        # the membership heals, burning the latency/availability SLOs.
+        crash_at = 0.1 + (operations // 2) * spacing
+        plan.schedule_crash(2, crash_at)
+        run_until += 1.5
+    elif not quick:
         # A crash past the workload exercises suspicion, membership
         # reconfiguration, and the reconfig-duration histogram.
         plan.schedule_crash(5, 0.1 + operations * spacing + 0.5)
         run_until += 1.0
 
-    obs = Observability()
+    obs = Observability(forensics=ForensicsHub() if slo else None)
     immune = ImmuneSystem(
         num_processors=6,
         config=config,
@@ -110,14 +133,19 @@ def run_instrumented(seed=11, quick=False):
         send_at = 0.1 + k * spacing
 
         def fire(k=k):
-            for _pid, stub in stubs:
+            for pid, stub in stubs:
+                if immune.processors[pid].crashed:
+                    continue
                 stub.echo(k, reply_to=lambda _n: replies.__setitem__(
                     "count", replies["count"] + 1))
 
         immune.scheduler.at(send_at, fire, label="report.workload")
 
-    # Periodic snapshots into the same registry the totals come from.
+    # Periodic snapshots into the same registry the totals come from,
+    # plus the ring-buffered per-metric time series the SLO engine and
+    # the watch CLI replay.
     obs.registry.sample_every(immune.scheduler, period=0.5)
+    obs.registry.sample_series(immune.scheduler, period=0.1)
     immune.run(until=run_until)
     obs.registry.stop_sampling()
 
@@ -130,7 +158,27 @@ def run_instrumented(seed=11, quick=False):
         "quick": quick,
         "simulated_seconds": immune.scheduler.now,
     }
+    if slo:
+        run_info["slo_drill"] = True
+        run_info["crash_at"] = crash_at
     return immune, obs, run_info
+
+
+def evaluate_slo_run(immune, obs, specs=None):
+    """The post-run telemetry pipeline for an ``--slo`` drill.
+
+    Merges the forensic timeline, scores the detector, attributes the
+    critical path, and evaluates the SLO engine over the sampled
+    series.  Returns ``(slo_result, critpath_report, scorecard)``.
+    """
+    timeline = merge_timeline(obs.forensics)
+    scorecard = score(obs.forensics, timeline)
+    critpath = attribute_spans(
+        obs.spans, timeline, cost_model=immune.config.crypto_costs
+    )
+    engine = SLOEngine(specs)
+    slo_result = engine.evaluate(obs.registry.series_sampler, scorecard=scorecard)
+    return slo_result, critpath, scorecard
 
 
 def main(argv=None):
@@ -141,6 +189,11 @@ def main(argv=None):
     parser.add_argument(
         "--quick", action="store_true",
         help="smaller workload, no crash (CI smoke test)",
+    )
+    parser.add_argument(
+        "--slo", action="store_true",
+        help="telemetry drill: mid-workload server crash, time-series "
+             "sampling, burn-rate alerting, critical-path attribution",
     )
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument(
@@ -164,10 +217,16 @@ def main(argv=None):
             print("error: %s" % exc, file=sys.stderr)
             return 2
     else:
-        immune, obs, run_info = run_instrumented(seed=args.seed, quick=args.quick)
+        immune, obs, run_info = run_instrumented(
+            seed=args.seed, quick=args.quick, slo=args.slo
+        )
+        slo_result = critpath = None
+        if args.slo:
+            slo_result, critpath, _scorecard = evaluate_slo_run(immune, obs)
         summary = export_jsonl(
             args.out, obs, run_info=run_info,
             crypto_costs=immune.config.crypto_costs,
+            slo=slo_result, critpath=critpath,
         )
 
     if args.json:

@@ -149,11 +149,19 @@ class SpanTracker:
     # ------------------------------------------------------------------
 
     def begin(self, key, oneway=False):
-        """Get-or-create the span for one logical invocation."""
+        """Get-or-create the span for one logical invocation.
+
+        Creating a span bumps the ``span.opened`` counter, which pairs
+        with ``span.closed`` as the availability SLI: the gap between
+        the two over a time window is the invocations attempted but not
+        (yet) completed — the signal that burns during a stall.
+        """
         span = self._spans.get(key)
         if span is None:
             span = InvocationSpan(key, oneway)
             self._spans[key] = span
+            if self._registry is not None:
+                self._registry.counter("span.opened").inc()
             self._evict_if_needed()
         return span
 

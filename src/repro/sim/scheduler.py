@@ -63,6 +63,28 @@ class Event:
         return "Event(t=%.9f, %s, %s)" % (self.time, self.label or self.fn, state)
 
 
+class RepeatingEvent:
+    """Handle for a periodic callback armed with :meth:`Scheduler.every`.
+
+    The underlying one-shot event re-arms itself after each firing;
+    ``cancel`` stops the cycle (idempotent, callable from inside the
+    callback itself — the next arm is suppressed).
+    """
+
+    __slots__ = ("cancelled", "_event")
+
+    def __init__(self):
+        self.cancelled = False
+        self._event = None
+
+    def cancel(self):
+        if not self.cancelled:
+            self.cancelled = True
+            if self._event is not None:
+                self._event.cancel()
+                self._event = None
+
+
 class Scheduler:
     """Deterministic discrete-event scheduler.
 
@@ -135,6 +157,31 @@ class Scheduler:
         else:
             heapq.heappush(self._queue, event)
         return event
+
+    def every(self, period, fn, *args, priority=PRIORITY_NORMAL, label=""):
+        """Schedule ``fn(*args)`` every ``period`` seconds, starting one
+        period from now.
+
+        This is the sampling hook used by the observability layer: the
+        metric snapshotter and the time-series sampler both ride one
+        repeating event instead of hand-rolled rescheduling.  Returns a
+        :class:`RepeatingEvent`; the cycle runs until it is cancelled
+        (``fn`` may cancel it from inside the callback), so always bound
+        the simulation with ``run(until=...)``.
+        """
+        if period <= 0:
+            raise SimulationError("non-positive period %r" % (period,))
+        handle = RepeatingEvent()
+
+        def tick():
+            fn(*args)
+            if not handle.cancelled:
+                handle._event = self.after(
+                    period, tick, priority=priority, label=label
+                )
+
+        handle._event = self.after(period, tick, priority=priority, label=label)
+        return handle
 
     def stop(self):
         """Request that ``run`` return before executing the next event."""

@@ -1,0 +1,177 @@
+"""Unit tests for critical-path cause attribution."""
+
+import pytest
+
+from repro.crypto.costmodel import CryptoCostModel
+from repro.obs.critpath import (
+    CAUSES,
+    attribute_span,
+    attribute_spans,
+    render_critpath,
+    _TokenEvidence,
+)
+from repro.obs.forensics import ForensicEvent
+from repro.obs.spans import InvocationSpan, SpanTracker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def event(time, etype, shard=0):
+    return ForensicEvent(time, proc=0, ring=0, seq=None, etype=etype,
+                         fields={}, shard=shard)
+
+
+def span_with(marks, oneway=True, key=("g", 0)):
+    span = InvocationSpan(key, oneway=oneway)
+    for stage, time in marks.items():
+        span.mark(stage, time)
+    return span
+
+
+def causes_of(rows):
+    out = {}
+    for _stage, cause, seconds in rows:
+        out[cause] = out.get(cause, 0.0) + seconds
+    return out
+
+
+def test_direct_stage_causes_and_exact_total():
+    span = span_with({
+        "intercepted": 0.0,
+        "multicast_queued": 0.1,
+        "ordered": 0.5,
+        "voted": 0.6,
+        "dispatched": 0.65,
+        "executed": 0.7,
+    })
+    rows = attribute_span(span, _TokenEvidence([]))
+    by_stage = {(stage, cause): s for stage, cause, s in rows}
+    assert by_stage[("multicast_queued", "client_processing")] == pytest.approx(0.1)
+    assert by_stage[("ordered", "ordering")] == pytest.approx(0.4)
+    assert by_stage[("voted", "vote_quorum_wait")] == pytest.approx(0.1)
+    assert by_stage[("dispatched", "dispatch")] == pytest.approx(0.05)
+    assert by_stage[("executed", "execution")] == pytest.approx(0.05)
+    # The decomposition conserves the span's end-to-end latency.
+    assert sum(s for _st, _c, s in rows) == pytest.approx(0.7)
+
+
+def test_token_stage_decomposes_wait_and_retransmission():
+    span = span_with({"intercepted": 0.0, "ordered": 1.0})
+    evidence = _TokenEvidence([
+        event(0.3, "token_receive"),   # first token: 0.3 s of token_wait
+        event(0.5, "token_regenerate"),  # loss: stalls until the next token
+        event(0.8, "token_receive"),
+    ])
+    rows = attribute_span(span, evidence)
+    causes = causes_of(rows)
+    assert causes["retransmission"] == pytest.approx(0.3)  # 0.5 -> 0.8
+    assert causes["token_wait"] == pytest.approx(0.3)
+    assert causes["ordering"] == pytest.approx(0.4)  # the residual
+    assert sum(causes.values()) == pytest.approx(1.0)
+
+
+def test_crypto_costs_are_priced_into_token_stages():
+    span = span_with({"intercepted": 0.0, "ordered": 1.0})
+    evidence = _TokenEvidence([
+        event(0.2, "token_send"),     # a signed origination
+        event(0.4, "token_receive"),  # a verified acceptance
+    ])
+    costs = CryptoCostModel(modulus_bits=300)
+    causes = causes_of(attribute_span(span, evidence, cost_model=costs))
+    assert causes["signing"] == pytest.approx(costs.sign_cost())
+    assert causes["verification"] == pytest.approx(costs.verify_cost())
+    assert causes["token_wait"] == pytest.approx(0.2)
+    assert sum(causes.values()) == pytest.approx(1.0)
+
+
+def test_causes_clamp_never_oversubscribe_the_stage():
+    # A stage shorter than its evidence: regen stall would claim 10 s.
+    span = span_with({"intercepted": 0.0, "ordered": 0.1})
+    evidence = _TokenEvidence([event(0.05, "token_regenerate")])
+    rows = attribute_span(span, evidence)
+    causes = causes_of(rows)
+    assert causes["retransmission"] == pytest.approx(0.05)
+    assert sum(causes.values()) == pytest.approx(0.1)
+    assert all(cause in CAUSES for _st, cause, _s in rows)
+
+
+def test_shard_scopes_token_evidence():
+    span = span_with({"intercepted": 0.0, "ordered": 1.0})
+    evidence = _TokenEvidence([
+        event(0.2, "token_receive", shard=0),
+        event(0.6, "token_receive", shard=1),
+    ])
+    assert causes_of(attribute_span(span, evidence, shard=0))[
+        "token_wait"] == pytest.approx(0.2)
+    assert causes_of(attribute_span(span, evidence, shard=1))[
+        "token_wait"] == pytest.approx(0.6)
+    # shard=None merges every ring's evidence.
+    assert causes_of(attribute_span(span, evidence, shard=None))[
+        "token_wait"] == pytest.approx(0.2)
+
+
+def closed_tracker():
+    clock = FakeClock()
+    spans = SpanTracker().bind(clock)
+    for n, group in enumerate(("alpha", "beta")):
+        key = (group, n)
+        spans.begin(key, oneway=True)
+        for stage, t in (
+            ("intercepted", 0.0), ("multicast_queued", 0.1),
+            ("ordered", 0.3), ("voted", 0.4), ("dispatched", 0.5),
+        ):
+            clock.now = t + n  # beta runs a second later
+            spans.mark(key, stage)
+    return spans
+
+
+def test_attribute_spans_aggregates_and_shares_sum_to_one():
+    spans = closed_tracker()
+    report = attribute_spans(spans, [])
+    assert report["spans"] == 2
+    assert report["total_seconds"] == pytest.approx(1.0)
+    assert sum(row["share"] for row in report["per_cause"]) == pytest.approx(1.0)
+    assert sum(row["seconds"] for row in report["per_stage"]) == pytest.approx(1.0)
+    # Causes ordered by descending seconds.
+    seconds = [row["seconds"] for row in report["per_cause"]]
+    assert seconds == sorted(seconds, reverse=True)
+    assert set(report["per_group"]) == {"alpha", "beta"}
+    # Ring keys are strings (JSON object keys).
+    assert set(report["per_ring"]) == {"0"}
+
+
+def test_attribute_spans_routes_groups_to_shards():
+    spans = closed_tracker()
+    evidence_events = [
+        event(0.15, "token_receive", shard=0),
+        event(1.25, "token_receive", shard=1),
+    ]
+    report = attribute_spans(
+        spans, evidence_events, shard_of_group={"alpha": 0, "beta": 1}
+    )
+    assert set(report["per_ring"]) == {"0", "1"}
+    assert report["per_ring"]["0"]["token_wait"] == pytest.approx(0.05)
+    assert report["per_ring"]["1"]["token_wait"] == pytest.approx(0.15)
+
+
+def test_open_spans_are_not_attributed():
+    clock = FakeClock()
+    spans = SpanTracker().bind(clock)
+    spans.begin(("g", 0), oneway=True)
+    spans.mark(("g", 0), "intercepted")
+    report = attribute_spans(spans, [])
+    assert report["spans"] == 0
+    assert report["per_cause"] == []
+    assert "no closed spans" in render_critpath(report)
+
+
+def test_render_critpath_shows_bars_and_stages():
+    report = attribute_spans(closed_tracker(), [])
+    text = render_critpath(report)
+    assert "2 closed spans" in text
+    assert "#" in text
+    assert "ordering" in text
+    assert "vote_quorum_wait" in text

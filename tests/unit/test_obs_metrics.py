@@ -1,5 +1,7 @@
 """Unit tests for the metrics registry."""
 
+import warnings
+
 import pytest
 
 from repro.obs.metrics import Histogram, MetricsRegistry
@@ -116,3 +118,91 @@ def test_sample_every_records_time_series():
     last = {e["name"]: e for e in registry.samples[-1][1]}
     assert first["ticks"]["value"] == 1
     assert last["ticks"]["value"] == 2
+
+
+def test_quantile_empty_histogram_returns_zero():
+    hist = Histogram("h", ())
+    for q in (0.0, 0.5, 1.0):
+        assert hist.quantile(q) == 0.0
+
+
+def test_quantile_extremes_return_observed_min_and_max():
+    hist = Histogram("h", ())
+    for value in (0.5, 1.0, 2.0, 8.0):
+        hist.observe(value)
+    assert hist.quantile(0.0) == 0.5
+    assert hist.quantile(1.0) == 8.0
+    # Out-of-range q clamps rather than raising.
+    assert hist.quantile(-0.3) == 0.5
+    assert hist.quantile(1.7) == 8.0
+
+
+def test_quantile_single_bucket_clamps_to_extremes():
+    hist = Histogram("h", ())
+    # Identical observations occupy one log bucket: every interior
+    # quantile must come back clamped inside [min, max].
+    for _ in range(5):
+        hist.observe(3.0)
+    for q in (0.1, 0.5, 0.9):
+        assert hist.quantile(q) == 3.0
+
+
+def test_quantile_single_observation():
+    hist = Histogram("h", ())
+    hist.observe(0.25)
+    assert hist.quantile(0.0) == 0.25
+    assert hist.quantile(0.5) == 0.25
+    assert hist.quantile(1.0) == 0.25
+
+
+def test_bucket_counts_sorted_with_zero_bucket_first():
+    hist = Histogram("h", ())
+    hist.observe(0.0)     # zero bucket (index None)
+    hist.observe(1.5)
+    hist.observe(100.0)
+    buckets = hist.bucket_counts()
+    assert buckets[0][0] is None and buckets[0][1] == 1
+    indexes = [index for index, _count in buckets[1:]]
+    assert indexes == sorted(indexes)
+    assert sum(count for _index, count in buckets) == 3
+
+
+def test_label_cardinality_guard_warns_once_and_funnels():
+    registry = MetricsRegistry(max_label_sets=3)
+    for n in range(3):
+        registry.counter("per_op", op=n).inc()
+    with pytest.warns(RuntimeWarning, match="exceeded 3 label sets"):
+        registry.counter("per_op", op=3).inc()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a second warning would raise
+        registry.counter("per_op", op=4).inc()
+        registry.counter("per_op", op=5).inc(2)
+    # Distinct refused label-sets share one overflow instance.
+    assert registry.value("per_op", overflow=True) == 4
+    assert registry.capped_label_sets == {"per_op": 3}
+    # The family stayed bounded: 3 real instances + 1 overflow.
+    assert len(registry.family("per_op")) == 4
+    # Totals still include the funnelled increments.
+    assert registry.total("per_op") == 7
+
+
+def test_label_cardinality_guard_keeps_existing_instances_writable():
+    registry = MetricsRegistry(max_label_sets=2)
+    first = registry.counter("ops", kind="a")
+    registry.counter("ops", kind="b")
+    with pytest.warns(RuntimeWarning):
+        registry.counter("ops", kind="c")
+    # Pre-existing label sets are unaffected by the cap.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        again = registry.counter("ops", kind="a")
+    assert again is first
+
+
+def test_overflow_instance_kind_conflict_is_an_error():
+    registry = MetricsRegistry(max_label_sets=1)
+    registry.counter("mixed", op=0)
+    with pytest.warns(RuntimeWarning):
+        registry.counter("mixed", op=1)
+    with pytest.raises(ValueError):
+        registry.gauge("mixed", op=2)

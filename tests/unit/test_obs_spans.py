@@ -124,3 +124,39 @@ def test_works_with_real_scheduler():
     scheduler.at(1.5, spans.mark, key, "ordered", label="t")
     scheduler.run()
     assert spans.get(key).marks == {"intercepted": 0.5, "ordered": 1.5}
+
+
+def test_open_spans_oneway_vs_two_way():
+    clock = FakeClock()
+    spans = SpanTracker().bind(clock)
+    # A one-way invocation closes at dispatch; a two-way one stays open
+    # through the whole reply path until reply_voted.
+    shared = ("intercepted", "multicast_queued", "ordered", "voted", "dispatched")
+    spans.begin(("g", 0), oneway=True)
+    spans.begin(("g", 1), oneway=False)
+    for stage in shared:
+        clock.now += 0.1
+        spans.mark(("g", 0), stage)
+        spans.mark(("g", 1), stage)
+    assert spans.open_spans() == [spans.get(("g", 1))]
+    assert spans.get(("g", 0)).closed and not spans.get(("g", 1)).closed
+    for stage in ("executed", "reply_gateway_forwarded", "reply_ordered"):
+        clock.now += 0.1
+        spans.mark(("g", 1), stage)
+    assert spans.open_spans() == [spans.get(("g", 1))]
+    assert spans.get(("g", 1)).last_stage == "reply_ordered"
+    clock.now += 0.1
+    spans.mark(("g", 1), "reply_voted")
+    assert spans.open_spans() == []
+    assert len(spans.closed_spans()) == 2
+
+
+def test_begin_counts_opened_spans():
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    spans = SpanTracker(registry=registry).bind(clock)
+    spans.begin(("g", 0), oneway=False)
+    spans.begin(("g", 1), oneway=True)
+    spans.begin(("g", 1), oneway=True)  # same key: still one span
+    assert registry.value("span.opened") == 2
+    assert registry.value("span.closed") == 0

@@ -184,3 +184,38 @@ def test_cancel_during_run_is_safe(optimized):
         assert seen == ["massacre", "survivor"]
         assert survivor is not None
         assert sched.pending() == 0
+
+
+def test_every_fires_at_fixed_period():
+    sched = Scheduler()
+    ticks = []
+    sched.every(0.5, lambda: ticks.append(sched.now), label="tick")
+    sched.run(until=2.25)
+    assert ticks == [0.5, 1.0, 1.5, 2.0]
+
+
+def test_every_cancel_before_run_means_no_ticks():
+    sched = Scheduler()
+    ticks = []
+    handle = sched.every(0.5, lambda: ticks.append(sched.now))
+    handle.cancel()
+    sched.run(until=5.0)
+    assert ticks == []
+
+
+def test_every_cancel_mid_run():
+    sched = Scheduler()
+    ticks = []
+    handle = sched.every(0.5, lambda: ticks.append(sched.now))
+    sched.at(1.2, handle.cancel)
+    sched.run(until=5.0)
+    assert ticks == [0.5, 1.0]
+    handle.cancel()  # idempotent after the fact
+
+
+def test_every_rejects_nonpositive_period():
+    sched = Scheduler()
+    with pytest.raises(SimulationError):
+        sched.every(0.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sched.every(-1.0, lambda: None)
