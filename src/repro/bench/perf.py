@@ -29,6 +29,19 @@ Results are written to ``BENCH_pr2.json``::
 
     python -m repro.bench.perf             # full gate, writes BENCH_pr2.json
     python -m repro.bench.perf --smoke     # CI-sized workload
+
+A second, *simulated* gate covers the batch-signature token pipeline
+(:mod:`repro.multicast.delivery` with ``batch_signatures=True``): the
+same Figure-7 workload is run with per-visit token signatures and with
+batch certificates, and the simulated invocations/second ratio must
+reach ``--min-batch-ratio`` (default 3.0).  Because both numbers are
+simulated, the gate is deterministic — it is enforced even under
+``--smoke`` — and its report ``BENCH_pr7.json`` contains only simulated
+quantities, so repeated runs and both perf modes must produce
+byte-identical files::
+
+    python -m repro.bench.perf --batch-only            # writes BENCH_pr7.json
+    python -m repro.bench.perf --batch-only --smoke    # CI-sized workload
 """
 
 import argparse
@@ -40,7 +53,7 @@ import time
 
 from repro import perf
 from repro.bench.harness import run_packet_driver_case
-from repro.core.config import SurvivabilityCase
+from repro.core.config import ImmuneConfig, SurvivabilityCase
 from repro.obs import Observability
 from repro.obs.export import export_jsonl
 
@@ -224,6 +237,96 @@ def run_gate(smoke=False, min_speedup=2.0, output="BENCH_pr2.json"):
     return report, 0 if ok else 1
 
 
+BATCH_FULL = {"duration": 0.4, "warmup": 0.15}
+BATCH_SMOKE = {"duration": 0.12, "warmup": 0.05}
+
+
+def _run_batch_case(batch, duration, warmup):
+    config = ImmuneConfig(case=CASE, seed=SEED, batch_signatures=batch)
+    result = run_packet_driver_case(
+        CASE,
+        INTERVAL_US * 1e-6,
+        duration=duration,
+        warmup=warmup,
+        seed=SEED,
+        config=config,
+    )
+    return _sim_fingerprint(result)
+
+
+def run_batch_gate(smoke=False, min_ratio=3.0, output="BENCH_pr7.json"):
+    """Gate the batch-signature pipeline's simulated throughput win.
+
+    Runs the Figure-7 full-survivability workload with per-visit token
+    signatures and with batch certificates, and requires the simulated
+    invocations/second ratio to reach ``min_ratio``.  Everything in the
+    report is simulated, so it must be byte-identical across repeated
+    runs and across perf modes — both are checked here.
+    """
+    params = BATCH_SMOKE if smoke else BATCH_FULL
+    duration, warmup = params["duration"], params["warmup"]
+    print(
+        "batch gate: %s @ %dus, duration=%.2fs%s"
+        % (CASE.name, INTERVAL_US, duration, " (smoke)" if smoke else "")
+    )
+
+    per_visit = _run_batch_case(False, duration, warmup)
+    batched = _run_batch_case(True, duration, warmup)
+    ratio = (
+        batched["throughput"] / per_visit["throughput"]
+        if per_visit["throughput"]
+        else float("inf")
+    )
+    print("  per-visit signatures: %8.1f inv/s" % per_visit["throughput"])
+    print("  batch certificates:   %8.1f inv/s" % batched["throughput"])
+    print("  ratio: %.2fx (gate: %.1fx)" % (ratio, min_ratio))
+
+    # Determinism: an immediate re-run, and a run in the opposite perf
+    # mode, must reproduce the simulated fingerprint exactly.
+    rerun_equal = _run_batch_case(True, duration, warmup) == batched
+    with perf.mode(not perf.optimized_enabled()):
+        cross_mode_equal = _run_batch_case(True, duration, warmup) == batched
+    print("  rerun deterministic: %s" % rerun_equal)
+    print("  identical across perf modes: %s" % cross_mode_equal)
+
+    ratio_ok = ratio >= min_ratio
+    ok = ratio_ok and rerun_equal and cross_mode_equal
+    report = {
+        "bench": "pr7-batch-signature-pipeline",
+        "workload": {
+            "case": CASE.name,
+            "interval_us": INTERVAL_US,
+            "duration": duration,
+            "warmup": warmup,
+            "seed": SEED,
+            "smoke": smoke,
+        },
+        "per_visit_signatures": per_visit,
+        "batch_certificates": batched,
+        "throughput_ratio": ratio,
+        "min_ratio": min_ratio,
+        "ratio_ok": ratio_ok,
+        "rerun_deterministic": rerun_equal,
+        "identical_across_perf_modes": cross_mode_equal,
+        "ok": ok,
+    }
+    with open(output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print("  wrote %s" % output)
+
+    if not ratio_ok:
+        print(
+            "FAIL: batch ratio %.2fx below the %.1fx gate" % (ratio, min_ratio),
+            file=sys.stderr,
+        )
+    if not rerun_equal or not cross_mode_equal:
+        print("FAIL: batch gate results are not deterministic", file=sys.stderr)
+    if ok:
+        print("PASS")
+    return report, 0 if ok else 1
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -233,11 +336,23 @@ def main(argv=None):
     )
     parser.add_argument("--min-speedup", type=float, default=2.0)
     parser.add_argument("--output", default="BENCH_pr2.json")
-    args = parser.parse_args(argv)
-    _, status = run_gate(
-        smoke=args.smoke, min_speedup=args.min_speedup, output=args.output
+    parser.add_argument(
+        "--batch-only",
+        action="store_true",
+        help="run only the batch-signature throughput gate",
     )
-    return status
+    parser.add_argument("--min-batch-ratio", type=float, default=3.0)
+    parser.add_argument("--batch-output", default="BENCH_pr7.json")
+    args = parser.parse_args(argv)
+    status = 0
+    if not args.batch_only:
+        _, status = run_gate(
+            smoke=args.smoke, min_speedup=args.min_speedup, output=args.output
+        )
+    _, batch_status = run_batch_gate(
+        smoke=args.smoke, min_ratio=args.min_batch_ratio, output=args.batch_output
+    )
+    return status or batch_status
 
 
 if __name__ == "__main__":

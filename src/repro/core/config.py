@@ -84,6 +84,10 @@ class ImmuneConfig:
         crypto_costs=None,
         batching=None,
         multicast=None,
+        batch_signatures=False,
+        signature_batch_visits=4,
+        pipeline_depth=4,
+        fragment_payload_bytes=4096,
     ):
         if digest not in self.DIGESTS:
             raise ConfigError("unknown digest %r (choose from %s)" % (digest, self.DIGESTS))
@@ -99,7 +103,12 @@ class ImmuneConfig:
         self.multicast = multicast or MulticastConfig(
             security=case.security_level,
             max_messages_per_token_visit=messages_per_token_visit,
+            batch_signatures=batch_signatures,
+            signature_batch_visits=signature_batch_visits,
+            pipeline_depth=pipeline_depth,
+            fragment_payload_bytes=fragment_payload_bytes,
         )
+        self.batch_signatures = self.multicast.batch_signatures
 
     def digest_fn(self):
         """The configured digest function (default MD4, as in the paper)."""

@@ -482,7 +482,10 @@ class ReplicationManager:
         for group_name in sorted(self._voters):
             voter = self._voters[group_name]
             for decision in voter.reconsider():
-                kind, source_group, target_group, op_num = decision.op_key
+                # The voter keys entries as (source group, manager op
+                # key); the inner key carries the frame coordinates.
+                _, inner_key = decision.op_key
+                kind, source_group, target_group, op_num = inner_key
                 replica = ImmuneMessage(
                     kind, source_group, op_num, self.my_id, target_group, decision.body
                 )

@@ -56,6 +56,21 @@ class CryptoCostModel:
         """Seconds to verify one RSA signature (quadratic in modulus size)."""
         return self.verify_base * self._scale(2)
 
+    def batch_sign_cost(self, batch_size=1):
+        """Seconds to sign one certificate vouching ``batch_size`` digests.
+
+        One RSA exponentiation regardless of the batch size — only the
+        digest of the batched 16-byte entries grows with it.  This is
+        the whole point of the batch-signature scheme: the per-visit
+        signing cost is ``batch_sign_cost(B) / B``, asymptotically the
+        digest cost alone.
+        """
+        return self.sign_cost() + self.digest_cost(16 * max(batch_size, 1))
+
+    def batch_verify_cost(self, batch_size=1):
+        """Seconds to verify one certificate vouching ``batch_size`` digests."""
+        return self.verify_cost() + self.digest_cost(16 * max(batch_size, 1))
+
     def describe(self):
         """Calibration summary for run reports: {operation: seconds}.
 

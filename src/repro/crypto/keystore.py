@@ -101,6 +101,13 @@ class SigningService:
                 "sign": registry.counter("crypto.seconds", proc=pid, op="sign"),
                 "verify": registry.counter("crypto.seconds", proc=pid, op="verify"),
             }
+            self._m_batch_sign_ops = registry.counter("crypto.batch_sign_ops", proc=pid)
+            self._m_batch_verify_ops = registry.counter(
+                "crypto.batch_verify_ops", proc=pid
+            )
+            self._m_batched_digests = registry.counter(
+                "crypto.batched_digests", proc=pid
+            )
         else:
             self._m_digest_ops = None
 
@@ -155,3 +162,27 @@ class SigningService:
         if result is None:
             result = _VERIFY_CACHE.put(key, public_key.verify(digest, signature))
         return result
+
+    def sign_batch(self, data, batch_size):
+        """Sign ``data`` covering ``batch_size`` batched digests.
+
+        One RSA operation vouches a whole span of token visits (the
+        flat batch-signature scheme): the signing cost is charged once,
+        plus the marginal cost of digesting the batched entries.
+        """
+        digest = self._keystore.digest_fn(data)
+        self._charge(self.cost_model.digest_cost(len(data)), "digest")
+        self._charge(self.cost_model.sign_cost(), "sign")
+        if self._m_digest_ops is not None:
+            self._m_digest_ops.inc()
+            self._m_sign_ops.inc()
+            self._m_batch_sign_ops.inc()
+            self._m_batched_digests.inc(max(batch_size, 1))
+        return self._keypair.sign(digest)
+
+    def verify_batch(self, signer_id, data, signature, batch_size):
+        """Verify one batch signature covering ``batch_size`` digests."""
+        if self._m_digest_ops is not None:
+            self._m_batch_verify_ops.inc()
+            self._m_batched_digests.inc(max(batch_size, 1))
+        return self.verify(signer_id, data, signature)

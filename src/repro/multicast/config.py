@@ -15,6 +15,32 @@ that involve the multicast stack (case 1 bypasses it entirely):
 import enum
 
 
+class MulticastConfigError(ValueError):
+    """Raised when a :class:`MulticastConfig` parameter makes no sense."""
+
+
+def _checked_int(name, value, minimum, maximum):
+    """Validate an integer knob; the error names the field and the range."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise MulticastConfigError(
+            "%s must be an integer between %d and %d, got %r"
+            % (name, minimum, maximum, value)
+        )
+    if not minimum <= value <= maximum:
+        raise MulticastConfigError(
+            "%s must be between %d and %d, got %d" % (name, minimum, maximum, value)
+        )
+    return value
+
+
+def _checked_bool(name, value):
+    if not isinstance(value, bool):
+        raise MulticastConfigError(
+            "%s must be True or False, got %r" % (name, value)
+        )
+    return value
+
+
 class SecurityLevel(enum.Enum):
     NONE = "none"
     DIGESTS = "digests"
@@ -54,11 +80,20 @@ class MulticastConfig:
         token_retransmit_limit=3,
         membership_round_timeout=None,
         aru_stall_rotations=12,
+        batch_signatures=False,
+        signature_batch_visits=4,
+        pipeline_depth=4,
+        fragment_payload_bytes=4096,
     ):
         self.security = security
         #: the paper's parameter j: "up to six multicast messages are
         #: sent with each token visit"
-        self.max_messages_per_token_visit = max_messages_per_token_visit
+        self.max_messages_per_token_visit = _checked_int(
+            "max_messages_per_token_visit (the paper's j)",
+            max_messages_per_token_visit,
+            1,
+            4096,
+        )
         #: CPU cost of processing a token visit (excluding crypto)
         self.token_hold_cost = token_hold_cost
         #: how long a holder parks the token when the ring is idle
@@ -78,6 +113,34 @@ class MulticastConfig:
         #: token rotations a processor's aru may stall before it is
         #: suspected of receive omission
         self.aru_stall_rotations = aru_stall_rotations
+        #: batch-signature pipeline (requires ``SIGNATURES``): tokens
+        #: circulate unsigned and holders periodically broadcast one
+        #: RSA-signed :class:`~repro.multicast.token.TokenCertificate`
+        #: vouching a contiguous span of token-visit digests (a
+        #: MABS-style flat batch), so one signature covers many visits
+        #: and signing leaves the ring's critical path
+        self.batch_signatures = _checked_bool("batch_signatures", batch_signatures)
+        if self.batch_signatures and not security.signatures_enabled:
+            raise MulticastConfigError(
+                "batch_signatures requires SecurityLevel.SIGNATURES "
+                "(certificates are RSA-signed); got security=%s" % security.name
+            )
+        #: a holder certifies after this many of its own token visits
+        #: (the batch size knob: larger amortises the signature further
+        #: but delays authentication, and with it delivery)
+        self.signature_batch_visits = _checked_int(
+            "signature_batch_visits", signature_batch_visits, 1, 64
+        )
+        #: maximum token *rotations* of unauthenticated visits kept in
+        #: flight before a holder certifies synchronously (backpressure:
+        #: bounds how far ordering may run ahead of authentication)
+        self.pipeline_depth = _checked_int("pipeline_depth", pipeline_depth, 1, 128)
+        #: payloads larger than this are split into MessageFragment
+        #: frames, each with its own sequence number and digest, and
+        #: reassembled at delivery
+        self.fragment_payload_bytes = _checked_int(
+            "fragment_payload_bytes", fragment_payload_bytes, 64, 1 << 20
+        )
         #: which timeouts were left for :meth:`resolve_timeouts` to
         #: derive (as opposed to explicitly chosen by the caller, which
         #: scaling must never overwrite)

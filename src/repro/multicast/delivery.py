@@ -25,17 +25,33 @@ successor token whose ``prev_token_digest`` contradicts the stored
 predecessor, it rebroadcasts its stored copy so that every correct
 processor eventually holds two signed mutants and permanently suspects
 the equivocating holder.
+
+With ``batch_signatures`` enabled (a ``SIGNATURES``-level option),
+tokens circulate *unsigned* and each holder periodically broadcasts a
+:class:`~repro.multicast.token.TokenCertificate` whose single RSA
+signature vouches the raw-frame digests of a contiguous span of recent
+token visits.  Ordering runs ahead of authentication — the ring keeps
+rotating and originating while signatures are pending — and delivery of
+each message is gated on its covering token visit falling inside the
+*authentication horizon* established by verified certificates.
+``pipeline_depth`` bounds how many rotations ordering may run ahead;
+past it the holder certifies synchronously before originating, putting
+the signature back on the critical path (backpressure).  A validly
+signed token variant that contradicts the same processor's own verified
+certificate is a provable mutant and is convicted exactly as in the
+per-visit-signature mode.
 """
 
 from collections import deque
 
 from repro.multicast.messages import (
     MULTICAST_PORT,
+    MessageFragment,
     MulticastCodecError,
     RegularMessage,
     decode_frame_shared,
 )
-from repro.multicast.token import Token
+from repro.multicast.token import MAX_CERT_SPAN, Token, TokenCertificate
 
 #: how many token visits' raw bytes are retained for evidence exchange
 #: and membership-change recovery
@@ -83,6 +99,9 @@ class DeliveryProtocol:
         #: engine uses this to finish recovery)
         self.coverage_listener = None
 
+        #: batch-signature pipeline active (config guarantees SIGNATURES)
+        self._batch = config.batch_signatures
+
         self._send_queue = deque()
         #: seq -> list of distinct raw message variants (mutant candidates)
         self._received = {}
@@ -113,12 +132,41 @@ class DeliveryProtocol:
         #: window, because the interim aru can exceed a member's
         #: coverage until that member's next visit lowers it
         self._recent_arus = deque(maxlen=8)
+        # --- batch-signature pipeline state ---
+        #: highest visit such that every visit <= it is *settled*: its
+        #: digest is unanimously vouched by verified certificates and
+        #: any raw token we hold for it matches the vouch
+        self._auth_visit = 0
+        #: visit -> {cert signer -> vouched digest}; a signer claiming
+        #: two digests for one visit convicts itself, and a signed token
+        #: contradicting its own sender's claim convicts the sender
+        self._vouch_claims = {}
+        #: visit -> extra raw token variants (mutant candidates kept
+        #: until a certificate arbitrates which bytes are genuine)
+        self._token_variants = {}
+        #: (signer, first_visit, last_visit) -> raw certificate bytes,
+        #: retained for recovery and duplicate suppression
+        self._cert_raws = {}
+        #: own token visits since this processor last certified
+        self._own_visits_since_cert = 0
+        self._last_cert_raw = b""
+        self._last_cert_span = None
+        #: processors already convicted here (suppresses re-suspicion)
+        self._convicted = set()
+        # --- fragmentation state ---
+        #: (sender, frag_id) -> {"total": n, "group": g, "chunks": {i: bytes}}
+        self._reassembly = {}
+        #: monotonic fragment-stream id for payloads this processor splits
+        self._frag_counter = 0
         self.stats = {
             "delivered": 0,
             "sent": 0,
             "retransmits": 0,
             "digest_discards": 0,
             "token_visits": 0,
+            "certs_signed": 0,
+            "certs_verified": 0,
+            "fragments_sent": 0,
         }
         if obs is not None:
             registry = obs.registry
@@ -135,6 +183,14 @@ class DeliveryProtocol:
             self._m_msgs_per_visit = registry.histogram(
                 "multicast.messages_per_visit", proc=pid
             )
+            self._m_certs_signed = registry.counter("multicast.certs_signed", proc=pid)
+            self._m_certs_verified = registry.counter(
+                "multicast.certs_verified", proc=pid
+            )
+            self._m_fragments_sent = registry.counter(
+                "multicast.fragments_sent", proc=pid
+            )
+            self._m_cert_span = registry.histogram("multicast.cert_span", proc=pid)
             registry.add_collector(self._collect_metrics)
         else:
             self._m_token_visits = None
@@ -153,6 +209,11 @@ class DeliveryProtocol:
         registry.gauge("multicast.send_queue", proc=pid).set(len(self._send_queue))
         registry.gauge("multicast.delivered_up_to", proc=pid).set(self._delivered_up_to)
         registry.gauge("multicast.seq_horizon", proc=pid).set(self._max_seq_seen)
+        if self._batch:
+            newest = self._last_accepted.visit if self._last_accepted else 0
+            registry.gauge("multicast.auth_lag", proc=pid).set(
+                max(newest - self._auth_visit, 0)
+            )
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -185,6 +246,20 @@ class DeliveryProtocol:
         self._last_activity = self.scheduler.now
         self._parked_origination = None
         self._recent_arus = deque(maxlen=max(len(self.members), 2))
+        self._auth_visit = 0
+        self._vouch_claims.clear()
+        self._token_variants.clear()
+        self._cert_raws.clear()
+        self._last_cert_raw = b""
+        self._last_cert_span = None
+        self._convicted = set()
+        self._reassembly.clear()
+        # Stagger certification cadence around the ring so roughly
+        # n / signature_batch_visits certificates land per rotation
+        # instead of every holder certifying in the same rotation.
+        self._own_visits_since_cert = self.members.index(self.my_id) % max(
+            self.config.signature_batch_visits, 1
+        )
         if self._forensics is not None:
             self._forensics.set_context(ring=ring_id, seq=start_seq)
         self._reset_progress_timer()
@@ -221,8 +296,27 @@ class DeliveryProtocol:
     # ------------------------------------------------------------------
 
     def queue_message(self, dest_group, payload):
-        """Queue ``payload`` for totally-ordered multicast to ``dest_group``."""
-        self._send_queue.append((dest_group, payload))
+        """Queue ``payload`` for totally-ordered multicast to ``dest_group``.
+
+        Payloads larger than ``fragment_payload_bytes`` are split into
+        :class:`MessageFragment` frames here, each of which then flows
+        through ordering/digesting/retransmission as an ordinary
+        message with its own sequence number; the receiving side
+        reassembles and delivers the joined payload once the *last*
+        fragment's sequence number is deliverable.
+        """
+        limit = self.config.fragment_payload_bytes
+        if len(payload) > limit:
+            chunks = [payload[i : i + limit] for i in range(0, len(payload), limit)]
+            self._frag_counter += 1
+            frag_id = self._frag_counter
+            total = len(chunks)
+            for index, chunk in enumerate(chunks):
+                self._send_queue.append(
+                    (dest_group, chunk, (frag_id, index, total))
+                )
+        else:
+            self._send_queue.append((dest_group, payload, None))
         self._last_activity = self.scheduler.now
         self._release_parked_token()
 
@@ -246,6 +340,11 @@ class DeliveryProtocol:
         if self.config.security.digests_enabled:
             for visit in sorted(self._token_raw_by_visit):
                 frames.append(self._token_raw_by_visit[visit])
+        if self._batch:
+            # Certificates are what let a recovering processor
+            # authenticate the tokens above: ship every span we hold.
+            for key in sorted(self._cert_raws):
+                frames.append(self._cert_raws[key])
         return frames
 
     # ------------------------------------------------------------------
@@ -273,6 +372,9 @@ class DeliveryProtocol:
 
     def on_token(self, token, raw):
         if not self.active or token.ring_id != self.ring_id:
+            return
+        if self._batch:
+            self._on_token_batch(token, raw)
             return
         security = self.config.security
         if security.signatures_enabled:
@@ -335,6 +437,344 @@ class DeliveryProtocol:
         self._accept_token(token, raw)
 
     # ------------------------------------------------------------------
+    # batch signatures: certificates and the authentication horizon
+    # ------------------------------------------------------------------
+
+    def _on_token_batch(self, token, raw):
+        """Absorb a token in batch mode: no per-visit signature check.
+
+        Tokens circulate unsigned; authentication arrives later on
+        certificates.  Unsigned garbage therefore cannot be attributed
+        to anyone — only *validly signed* frames convict.
+        """
+        if not token.well_formed(self.members):
+            if (
+                token.signature
+                and token.sender_id in self.members
+                and self.signing.verify(
+                    token.sender_id, token.signable_bytes(), token.signature
+                )
+            ):
+                self._convict(token.sender_id, "malformed_token")
+            return
+        stored = self._token_raw_by_visit.get(token.visit)
+        if stored is not None:
+            if stored == raw:
+                self._reset_progress_timer()  # a benign retransmission
+                return
+            self._note_variant(token.visit, raw)
+            self._resolve_visit(token.visit)
+            return
+        previous = self._last_accepted
+        if previous is not None and token.visit <= previous.visit:
+            self._absorb_historical_batch(token, raw)
+            return
+        vouched = self._vouch_digest(token.visit)
+        if vouched is not None and self._digest_of(raw) != vouched:
+            # A fresh token already contradicted by a verified
+            # certificate: never accept it as the chain head.
+            self._note_variant(token.visit, raw)
+            self._resolve_visit(token.visit)
+            return
+        self._accept_token(token, raw)
+
+    def _absorb_historical_batch(self, token, raw):
+        """Recover a missed token, honouring any certificate vouches."""
+        vouched = self._vouch_digest(token.visit)
+        digest = self._digest_of(raw)
+        if vouched is not None and digest != vouched:
+            self._note_variant(token.visit, raw)
+            self._resolve_visit(token.visit)
+            return
+        if vouched is None and self._vouch_claims.get(token.visit):
+            # Certificates disagree about this visit: hold the bytes
+            # for evidence but trust nothing until membership resolves.
+            self._note_variant(token.visit, raw)
+            return
+        self._harvest_token(token, raw)
+        self._max_seq_seen = max(self._max_seq_seen, token.seq)
+        self._advance_authentication()
+        self._advance_delivery()
+
+    def on_certificate(self, cert, raw):
+        """A TokenCertificate arrived: verify once, vouch a whole span."""
+        if not self.active or cert.ring_id != self.ring_id or not self._batch:
+            return
+        if cert.signer_id == self.my_id:
+            return  # our own certificate echoed back by recovery
+        if cert.signer_id not in self.members:
+            return
+        key = (cert.signer_id, cert.first_visit, cert.last_visit)
+        if self._cert_raws.get(key) == raw:
+            return  # duplicate (retransmission or recovery overlap)
+        if not self.signing.verify_batch(
+            cert.signer_id, cert.signable_bytes(), cert.signature, len(cert.digests)
+        ):
+            if self._trace is not None and self._trace.active:
+                self._trace.record(
+                    "cert.bad_signature", proc=self.my_id, claimed=cert.signer_id
+                )
+            return
+        if self._forensics is not None:
+            self._forensics.record("batch_verify", **cert.forensic_summary())
+        if not cert.well_formed(self.members):
+            # Validly signed yet malformed: provable misbehaviour.
+            self._convict(cert.signer_id, "malformed_token")
+            return
+        self.stats["certs_verified"] += 1
+        if self._m_token_visits is not None:
+            self._m_certs_verified.inc()
+        self._cert_raws[key] = raw
+        self._last_activity = self.scheduler.now
+        self._apply_vouches(cert)
+
+    def _apply_vouches(self, cert):
+        """Record a verified certificate's per-visit digest claims."""
+        conflicted = []
+        for visit, digest in cert.entries():
+            if visit < 1:
+                continue
+            claims = self._vouch_claims.setdefault(visit, {})
+            existing = claims.get(cert.signer_id)
+            if existing is not None:
+                if existing != digest:
+                    # One signer vouching two digests for one visit:
+                    # provable certificate equivocation.
+                    self._convict(cert.signer_id, "mutant_token")
+                continue
+            claims[cert.signer_id] = digest
+            stored = self._token_raw_by_visit.get(visit)
+            if (
+                visit in self._token_variants
+                or len(set(claims.values())) > 1
+                or (stored is not None and self._digest_of(stored) != digest)
+            ):
+                conflicted.append(visit)
+        for visit in conflicted:
+            if self._forensics is not None:
+                self._forensics.record(
+                    "digest_mismatch",
+                    scope="certificate",
+                    cert_visit=visit,
+                    signer=cert.signer_id,
+                )
+            self._resolve_visit(visit)
+        self._advance_authentication()
+        self._advance_delivery()
+
+    def _vouch_digest(self, visit):
+        """The unanimously vouched digest for ``visit`` (None if unknown
+        or certificates disagree — conflicting vouches authenticate
+        nothing until the equivocator is excluded)."""
+        claims = self._vouch_claims.get(visit)
+        if not claims:
+            return None
+        digests = set(claims.values())
+        if len(digests) == 1:
+            return next(iter(digests))
+        return None
+
+    def _advance_authentication(self):
+        """Advance the contiguous horizon of settled token visits.
+
+        A visit settles once a verified certificate vouches it and any
+        raw token we hold for it matches the vouch.  A vouched visit we
+        hold *no* token for settles too: the vouch proves the token
+        existed, and any message it covered surfaces as a digest-less
+        gap that retransmission repairs (the covering token is resent
+        and must then match the vouch to be harvested).
+        """
+        while True:
+            nxt = self._auth_visit + 1
+            digest = self._vouch_digest(nxt)
+            if digest is None:
+                break
+            raw = self._token_raw_by_visit.get(nxt)
+            if raw is not None and self._digest_of(raw) != digest:
+                break  # contradiction pending evidence resolution
+            self._auth_visit = nxt
+
+    def _note_variant(self, visit, raw):
+        variants = self._token_variants.setdefault(visit, [])
+        if raw not in variants and len(variants) < 4:
+            variants.append(raw)
+
+    def _resolve_visit(self, visit):
+        """Arbitrate raw token variants once certificates weigh in.
+
+        Unsigned variants cannot be attributed, so without a vouch they
+        are merely held.  A unanimous vouch names the genuine bytes:
+        the matching variant is (re)harvested, every validly signed
+        contradicting variant whose own sender vouched otherwise is
+        convicted, and our contradicted copy is published as evidence.
+        """
+        stored = self._token_raw_by_visit.get(visit)
+        candidates = list(self._token_variants.get(visit, ()))
+        if stored is not None and stored not in candidates:
+            candidates.append(stored)
+        for raw in candidates:
+            self._maybe_convict_mutant(visit, raw)
+        vouched = self._vouch_digest(visit)
+        if vouched is None:
+            if stored is not None and len(candidates) > 1:
+                # Competing variants, no arbiter yet: publish ours so
+                # every correct processor can compare.
+                self._rebroadcast_evidence(visit)
+            return
+        keeper = None
+        for raw in candidates:
+            if self._digest_of(raw) == vouched:
+                keeper = raw
+                break
+        if keeper is not None:
+            if keeper != stored:
+                try:
+                    token = decode_frame_shared(keeper)
+                except MulticastCodecError:
+                    token = None
+                if isinstance(token, Token):
+                    if stored is not None:
+                        self._unharvest(visit)
+                    self._harvest_token(token, keeper)
+                    self._max_seq_seen = max(self._max_seq_seen, token.seq)
+        elif stored is not None:
+            # Our copy contradicts the certificate: publish it as
+            # evidence, then drop its harvested digests so nothing
+            # mutant-covered can deliver; retransmission brings the
+            # genuine token back.
+            self._rebroadcast_evidence(visit)
+            self._unharvest(visit)
+        self._advance_authentication()
+        self._advance_delivery()
+
+    def _maybe_convict_mutant(self, visit, raw):
+        """Convict the sender of a signed token contradicting its own cert."""
+        try:
+            token = decode_frame_shared(raw)
+        except MulticastCodecError:
+            return
+        if not isinstance(token, Token) or not token.signature:
+            return
+        claimed = self._vouch_claims.get(visit, {}).get(token.sender_id)
+        if claimed is None or claimed == self._digest_of(raw):
+            return
+        if not self.signing.verify(
+            token.sender_id, token.signable_bytes(), token.signature
+        ):
+            return
+        # The sender's verified certificate vouches different bytes for
+        # this visit than its validly signed token: provable
+        # equivocation, exactly the mutant-token proof of the
+        # per-visit-signature mode.
+        if self._forensics is not None:
+            mutant_key = (self.ring_id, visit, token.sender_id)
+            if mutant_key not in self._forensic_mutants:
+                self._forensic_mutants.add(mutant_key)
+                self._forensics.record(
+                    "mutant_token",
+                    holder=token.sender_id,
+                    visit=visit,
+                    stored_digest=claimed,
+                    mutant_digest=self._digest_of(raw),
+                )
+        self._convict(token.sender_id, "mutant_token")
+        self._rebroadcast_evidence(visit)
+
+    def _convict(self, proc_id, kind):
+        if proc_id in self._convicted:
+            return
+        self._convicted.add(proc_id)
+        self.detector.suspect(proc_id, kind)
+
+    def _harvest_token(self, token, raw):
+        """Adopt ``raw`` as the genuine token of its visit: store the
+        bytes and (re)index the message digests it carries."""
+        self._token_raw_by_visit[token.visit] = raw
+        if self.config.security.digests_enabled:
+            for seq, digest in token.message_digest_list:
+                self._digest_by_seq[seq] = (digest, token.sender_id)
+                self._token_covering[seq] = token.visit
+
+    def _unharvest(self, visit):
+        """Forget a visit's token and every digest it had contributed."""
+        self._token_raw_by_visit.pop(visit, None)
+        for seq in [s for s, v in self._token_covering.items() if v == visit]:
+            del self._token_covering[seq]
+            self._digest_by_seq.pop(seq, None)
+
+    def _issue_certificate(self, reason):
+        """Sign one certificate vouching our contiguous recent span.
+
+        The span reaches *down* from the newest visit through the whole
+        retained token history (bounded by ``MAX_CERT_SPAN``), not
+        merely to our own authentication horizon: re-vouching is
+        idempotent, and the overlap means a processor that lost any
+        earlier certificate is healed by the next one from any holder.
+        """
+        newest_token = self._last_accepted
+        if newest_token is None:
+            return
+        newest = newest_token.visit
+        floor = max(1, newest - min(_TOKEN_HISTORY, MAX_CERT_SPAN) + 1)
+        digests = []
+        visit = newest
+        while visit >= floor:
+            raw = self._token_raw_by_visit.get(visit)
+            if raw is None:
+                break  # a gap ends the contiguous span we can vouch
+            digests.append(self._digest_of(raw))
+            visit -= 1
+        if not digests:
+            return
+        first = visit + 1
+        span = (first, newest)
+        if span == self._last_cert_span:
+            return  # nothing new since our previous certificate
+        digests.reverse()
+        cert = TokenCertificate(self.my_id, self.ring_id, first, digests)
+        cert.signature = self.signing.sign_batch(
+            cert.signable_bytes(), len(digests)
+        )
+        raw = cert.encode()
+        self._last_cert_span = span
+        self._last_cert_raw = raw
+        self._cert_raws[(self.my_id, first, newest)] = raw
+        self._own_visits_since_cert = 0
+        self.stats["certs_signed"] += 1
+        if self._m_token_visits is not None:
+            self._m_certs_signed.inc()
+            self._m_cert_span.observe(len(digests))
+        if self._forensics is not None:
+            self._forensics.record(
+                "batch_sign", reason=reason, **cert.forensic_summary()
+            )
+        # The frame leaves once the CPU finishes the signature — for a
+        # backpressure certificate that delay lands on the critical
+        # path (before this visit's token), for a cadence certificate
+        # the token is already scheduled and the ring rotates on.
+        send_at = self.processor.prio_free_at
+        if send_at <= self.scheduler.now:
+            self._transmit_frames([raw])
+        else:
+            self.scheduler.at(
+                send_at, self._transmit_frames, [raw], label="cert.transmit"
+            )
+        # Our own broadcast does not loop back: apply the vouches here.
+        for vouch_visit, digest in cert.entries():
+            self._vouch_claims.setdefault(vouch_visit, {})[self.my_id] = digest
+        self._advance_authentication()
+        self._advance_delivery()
+        if self._trace is not None and self._trace.active:
+            self._trace.record(
+                "cert.send",
+                proc=self.my_id,
+                ring=self.ring_id,
+                first=first,
+                last=newest,
+                reason=reason,
+            )
+
+    # ------------------------------------------------------------------
     # token acceptance and origination
     # ------------------------------------------------------------------
 
@@ -369,7 +809,11 @@ class DeliveryProtocol:
             self._m_token_visits.inc()
         if self._forensics is not None:
             self._forensics.set_context(seq=token.seq)
-            self._forensics.record("token_receive", **token.forensic_summary())
+            self._forensics.record(
+                "token_receive",
+                signed=bool(token.signature),
+                **token.forensic_summary()
+            )
         if self.config.security.digests_enabled:
             for seq, digest in token.message_digest_list:
                 self._digest_by_seq[seq] = (digest, token.sender_id)
@@ -377,6 +821,10 @@ class DeliveryProtocol:
         self._strikes = 0
         self._reset_progress_timer()
         self._track_aru_stall(token)
+        if self._batch:
+            # A certificate may have vouched this visit before the
+            # token itself arrived (recovery reorders frames).
+            self._advance_authentication()
         # _advance_delivery can reach the agreed cut of an ongoing
         # reconfiguration and reentrantly install a new ring (which
         # resets this protocol's state and re-enables circulation).
@@ -470,6 +918,15 @@ class DeliveryProtocol:
         previous = self._last_accepted
         if previous is not None and previous.successor != self.my_id:
             return  # superseded while we waited for the CPU
+        if self._batch and previous is not None:
+            lag = previous.visit + 1 - self._auth_visit
+            if lag > self.config.pipeline_depth * max(len(self.members), 1):
+                # Ordering has run a full pipeline ahead of
+                # authentication: certify *before* originating, putting
+                # the signature back on the critical path
+                # (backpressure) rather than letting unauthenticated
+                # work grow without bound.
+                self._issue_certificate("backpressure")
         rtr_in = set(previous.rtr_list) if previous is not None else set()
         rtr_in |= self._pending_rtr
         self._outgoing_frames = []
@@ -496,7 +953,9 @@ class DeliveryProtocol:
                 self._digest_of(self._last_accepted_raw) if previous is not None else b""
             ),
         )
-        if self.config.security.signatures_enabled:
+        if self.config.security.signatures_enabled and not self._batch:
+            # Batch mode circulates tokens unsigned; authentication
+            # arrives on periodic certificates instead.
             token.signature = self.signing.sign(token.signable_bytes())
             if self._m_token_visits is not None:
                 self._m_tokens_signed.inc()
@@ -528,11 +987,27 @@ class DeliveryProtocol:
             self._m_rotations.inc()
         if self._forensics is not None:
             self._forensics.set_context(seq=token.seq)
-            self._forensics.record("token_send", **token.forensic_summary())
+            self._forensics.record(
+                "token_send",
+                signed=bool(token.signature),
+                **token.forensic_summary()
+            )
         self._pending_rtr.clear()
         self._strikes = 0
         self._reset_progress_timer()
         self._advance_delivery()
+        if self._batch:
+            self._own_visits_since_cert += 1
+            if self._own_visits_since_cert >= self.config.signature_batch_visits and (
+                self._delivered_up_to < self._max_seq_seen or self._pending_rtr
+            ):
+                # Cadence certificate: issued *after* this visit's
+                # frames were scheduled, so its signature occupies our
+                # CPU while the token already rotates on — signing
+                # leaves the ring's critical path.  An idle ring (all
+                # delivered) defers until there is work to vouch; the
+                # overdue counter then certifies on the next busy visit.
+                self._issue_certificate("cadence")
         if self._trace is not None and self._trace.active:
             self._trace.record(
                 "token.send",
@@ -547,9 +1022,27 @@ class DeliveryProtocol:
         digest_list = []
         budget = self.config.max_messages_per_token_visit
         while self._send_queue and budget > 0:
-            dest_group, payload = self._send_queue.popleft()
+            dest_group, payload, frag = self._send_queue.popleft()
             seq = self._max_seq_seen + 1
-            message = RegularMessage(self.my_id, self.ring_id, seq, dest_group, payload)
+            if frag is None:
+                message = RegularMessage(
+                    self.my_id, self.ring_id, seq, dest_group, payload
+                )
+            else:
+                frag_id, frag_index, frag_total = frag
+                message = MessageFragment(
+                    self.my_id,
+                    self.ring_id,
+                    seq,
+                    dest_group,
+                    frag_id,
+                    frag_index,
+                    frag_total,
+                    payload,
+                )
+                self.stats["fragments_sent"] += 1
+                if self._m_token_visits is not None:
+                    self._m_fragments_sent.inc()
             raw = message.encode()
             self.processor.charge(
                 self.config.message_handling_cost, "multicast.send", priority=True
@@ -594,6 +1087,10 @@ class DeliveryProtocol:
             raw = self._token_raw_by_visit.get(visit)
             if raw is not None:
                 self._outgoing_frames.append(raw)
+        if self._batch and covering_visits and self._last_cert_raw:
+            # A resent token is useless to the requester until some
+            # certificate vouches it: re-offer our latest span.
+            self._outgoing_frames.append(self._last_cert_raw)
         return rtg
 
     def _missing_seqs(self):
@@ -696,9 +1193,40 @@ class DeliveryProtocol:
                     group=message.dest_group,
                     digest=self._digest_of(raw),
                 )
-            self.deliver_cb(message.sender_id, seq, message.dest_group, message.payload)
+            if isinstance(message, MessageFragment):
+                self._deliver_fragment(message)
+            else:
+                self.deliver_cb(
+                    message.sender_id, seq, message.dest_group, message.payload
+                )
         if advanced and self.coverage_listener is not None:
             self.coverage_listener()
+
+    def _deliver_fragment(self, message):
+        """Buffer one ordered fragment; deliver the join on the last one.
+
+        Total order per sender guarantees index order, so the
+        reassembled payload is handed up with the final fragment's
+        sequence number — the point at which every chunk has committed.
+        """
+        key = (message.sender_id, message.frag_id)
+        entry = self._reassembly.get(key)
+        if entry is None:
+            entry = self._reassembly[key] = {
+                "total": message.frag_total,
+                "chunks": {},
+            }
+        if (
+            message.frag_total != entry["total"]
+            or message.frag_index >= entry["total"]
+        ):
+            return  # inconsistent fragmentation metadata: drop the chunk
+        entry["chunks"][message.frag_index] = message.payload
+        if len(entry["chunks"]) < entry["total"]:
+            return
+        del self._reassembly[key]
+        payload = b"".join(entry["chunks"][i] for i in range(entry["total"]))
+        self.deliver_cb(message.sender_id, message.seq, message.dest_group, payload)
 
     def _select_deliverable(self, seq, variants):
         """Pick the variant to deliver, honouring the security level."""
@@ -707,6 +1235,13 @@ class DeliveryProtocol:
         entry = self._digest_by_seq.get(seq)
         if entry is None:
             return None  # no accepted token covers this seq yet
+        if self._batch:
+            covering = self._token_covering.get(seq)
+            if covering is None or covering > self._auth_visit:
+                # Pipelined: ordering has run ahead of authentication;
+                # delivery waits for a certificate to settle the
+                # covering token visit.
+                return None
         digest, token_sender = entry
         for raw in variants:
             if self.signing.digest(raw) != digest:
@@ -715,7 +1250,7 @@ class DeliveryProtocol:
                 message = decode_frame_shared(raw)
             except MulticastCodecError:
                 continue
-            if not isinstance(message, RegularMessage):
+            if not isinstance(message, (RegularMessage, MessageFragment)):
                 continue
             if message.sender_id != token_sender:
                 # Masquerade: digest matches but the claimed sender is
@@ -763,6 +1298,13 @@ class DeliveryProtocol:
         floor = newest_visit - _TOKEN_HISTORY
         for visit in [v for v in self._token_raw_by_visit if v < floor]:
             del self._token_raw_by_visit[visit]
+        if self._batch:
+            for visit in [v for v in self._vouch_claims if v < floor]:
+                del self._vouch_claims[visit]
+            for visit in [v for v in self._token_variants if v < floor]:
+                del self._token_variants[visit]
+            for key in [k for k in self._cert_raws if k[2] < floor]:
+                del self._cert_raws[key]
 
     def _rebroadcast_evidence(self, visit):
         raw = self._token_raw_by_visit.get(visit)
@@ -806,6 +1348,10 @@ class DeliveryProtocol:
                     "token_regenerate", visit=newest.visit, strike=self._strikes
                 )
             self.network.broadcast(self.my_id, MULTICAST_PORT, self._last_accepted_raw)
+            if self._batch and self._last_cert_raw:
+                # The successor may be stalled on authentication, not
+                # on the token: re-offer our latest certificate too.
+                self.network.broadcast(self.my_id, MULTICAST_PORT, self._last_cert_raw)
             self._reset_progress_timer()
             return
         if self._strikes <= self.config.token_retransmit_limit:

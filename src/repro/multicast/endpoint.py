@@ -31,11 +31,12 @@ from repro.multicast.messages import (
     JoinRequest,
     MembershipCommit,
     MembershipProposal,
+    MessageFragment,
     MulticastCodecError,
     RegularMessage,
     decode_frame_shared,
 )
-from repro.multicast.token import Token
+from repro.multicast.token import Token, TokenCertificate
 
 
 class SecureGroupEndpoint:
@@ -158,6 +159,13 @@ class SecureGroupEndpoint:
             self.delivery.on_regular(frame, payload)
         elif isinstance(frame, Token):
             self.delivery.on_token(frame, payload)
+        elif isinstance(frame, MessageFragment):
+            # Fragments are ordinary ordered messages with reassembly
+            # metadata; the delivery protocol treats them alike until
+            # the final delivery upcall.
+            self.delivery.on_regular(frame, payload)
+        elif isinstance(frame, TokenCertificate):
+            self.delivery.on_certificate(frame, payload)
         elif isinstance(frame, MembershipProposal):
             self.membership.on_proposal(frame, payload)
         elif isinstance(frame, MembershipCommit):

@@ -28,6 +28,8 @@ FRAME_TOKEN = 2
 FRAME_PROPOSAL = 3
 FRAME_COMMIT = 4
 FRAME_JOIN_REQUEST = 5
+FRAME_FRAGMENT = 6
+FRAME_CERTIFICATE = 7
 
 #: port on which all multicast protocol frames travel
 MULTICAST_PORT = "secure-multicast"
@@ -118,6 +120,82 @@ class RegularMessage:
             self.ring_id,
             self.seq,
             self.dest_group,
+            len(self.payload),
+        )
+
+
+class MessageFragment:
+    """One chunk of a payload too large for a single regular message.
+
+    Large payloads are split at ``fragment_payload_bytes`` boundaries;
+    every fragment is an ordinary ordered message — it carries its own
+    ring-wide ``seq`` and its digest travels in a token like any other
+    message, so corruption of one chunk invalidates exactly that chunk.
+    ``(sender_id, frag_id)`` names the reassembly group; ``frag_index``
+    of ``frag_total`` positions the chunk.  Total order per sender
+    guarantees chunks are delivered in index order, and the reassembled
+    payload is handed up with the *last* fragment's sequence number.
+    """
+
+    frame_type = FRAME_FRAGMENT
+
+    __slots__ = (
+        "sender_id",
+        "ring_id",
+        "seq",
+        "dest_group",
+        "frag_id",
+        "frag_index",
+        "frag_total",
+        "payload",
+    )
+
+    def __init__(
+        self, sender_id, ring_id, seq, dest_group, frag_id, frag_index, frag_total, payload
+    ):
+        self.sender_id = sender_id
+        self.ring_id = ring_id
+        self.seq = seq
+        self.dest_group = dest_group
+        self.frag_id = frag_id
+        self.frag_index = frag_index
+        self.frag_total = frag_total
+        self.payload = payload
+
+    def encode(self):
+        encoder = CdrEncoder()
+        encoder.write_octet(FRAME_FRAGMENT)
+        encoder.write_ulong(self.sender_id)
+        encoder.write_ulong(self.ring_id)
+        encoder.write_ulonglong(self.seq)
+        encoder.write_string(self.dest_group)
+        encoder.write_ulong(self.frag_id)
+        encoder.write_ulong(self.frag_index)
+        encoder.write_ulong(self.frag_total)
+        encoder.write_octets(self.payload)
+        return encoder.getvalue()
+
+    @classmethod
+    def decode(cls, decoder):
+        return cls(
+            decoder.read_ulong(),
+            decoder.read_ulong(),
+            decoder.read_ulonglong(),
+            decoder.read_string(),
+            decoder.read_ulong(),
+            decoder.read_ulong(),
+            decoder.read_ulong(),
+            decoder.read_octets(),
+        )
+
+    def __repr__(self):
+        return "MessageFragment(from=P%d, ring=%d, seq=%d, group=%s, %d/%d, %d bytes)" % (
+            self.sender_id,
+            self.ring_id,
+            self.seq,
+            self.dest_group,
+            self.frag_index + 1,
+            self.frag_total,
             len(self.payload),
         )
 
@@ -324,7 +402,7 @@ def _octets_to_int(data):
 
 def decode_frame(data):
     """Parse one multicast frame; raises MulticastCodecError on garbage."""
-    from repro.multicast.token import Token  # local import to avoid a cycle
+    from repro.multicast.token import Token, TokenCertificate  # local import to avoid a cycle
 
     decoder = CdrDecoder(data)
     try:
@@ -339,6 +417,10 @@ def decode_frame(data):
             return MembershipCommit.decode(decoder)
         if frame_type == FRAME_JOIN_REQUEST:
             return JoinRequest.decode(decoder)
+        if frame_type == FRAME_FRAGMENT:
+            return MessageFragment.decode(decoder)
+        if frame_type == FRAME_CERTIFICATE:
+            return TokenCertificate.decode(decoder)
     except MarshalError as exc:
         raise MulticastCodecError("malformed multicast frame: %s" % exc)
     raise MulticastCodecError("unknown frame type %d" % frame_type)

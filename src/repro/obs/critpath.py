@@ -7,8 +7,13 @@ stage delta is joined against the flight-recorder timeline
 (:mod:`repro.crypto.costmodel`) and split across protocol causes:
 
 * ``token_wait`` — waiting for the ring token to circulate to a sender;
-* ``signing`` / ``verification`` — RSA work on token originations and
-  acceptances inside the stage window (cost-model priced);
+* ``signing`` / ``verification`` — RSA work on *signed* token
+  originations and acceptances inside the stage window (cost-model
+  priced; unsigned batch-mode tokens carry no such cost);
+* ``batch_sign`` / ``batch_verify`` — one-signature-per-span
+  certificate work of the batch-signature pipeline, priced by
+  ``batch_sign_cost`` / ``batch_verify_cost`` at the recorded batch
+  size;
 * ``retransmission`` — stalls between a token-loss regeneration and the
   next live token event;
 * ``vote_quorum_wait`` — waiting for a majority of copies to arrive;
@@ -34,6 +39,8 @@ CAUSES = (
     "token_wait",
     "signing",
     "verification",
+    "batch_sign",
+    "batch_verify",
     "retransmission",
     "vote_quorum_wait",
     "gateway_hop",
@@ -66,16 +73,42 @@ class _TokenEvidence:
         self.token_times = {}
         #: shard -> sorted times of token-loss regenerations
         self.regen_times = {}
-        #: shard -> sorted times of signed token originations
+        #: shard -> sorted times of *signed* token originations (batch
+        #: mode circulates unsigned tokens, which cost no RSA work)
         self.send_times = {}
+        #: shard -> sorted times of *signed* token acceptances
+        self.receive_times = {}
+        #: shard -> sorted (time, batch size) of certificate signings
+        self.batch_signs = {}
+        #: shard -> sorted (time, batch size) of certificate verifies
+        self.batch_verifies = {}
         for event in timeline:
             if event.etype in ("token_send", "token_receive"):
                 self.token_times.setdefault(event.shard, []).append(event.time)
+                signed = event.fields.get("signed", True)
                 if event.etype == "token_send":
-                    self.send_times.setdefault(event.shard, []).append(event.time)
+                    if signed:
+                        self.send_times.setdefault(event.shard, []).append(event.time)
+                elif signed:
+                    self.receive_times.setdefault(event.shard, []).append(event.time)
             elif event.etype == "token_regenerate":
                 self.regen_times.setdefault(event.shard, []).append(event.time)
-        for mapping in (self.token_times, self.regen_times, self.send_times):
+            elif event.etype == "batch_sign":
+                self.batch_signs.setdefault(event.shard, []).append(
+                    (event.time, event.fields.get("count", 1))
+                )
+            elif event.etype == "batch_verify":
+                self.batch_verifies.setdefault(event.shard, []).append(
+                    (event.time, event.fields.get("count", 1))
+                )
+        for mapping in (
+            self.token_times,
+            self.regen_times,
+            self.send_times,
+            self.receive_times,
+            self.batch_signs,
+            self.batch_verifies,
+        ):
             for times in mapping.values():
                 times.sort()
 
@@ -93,6 +126,14 @@ class _TokenEvidence:
         """Event times in the half-open stage window ``(t0, t1]``."""
         times = self._times(mapping, shard)
         return times[bisect_right(times, t0): bisect_right(times, t1)]
+
+    def window_pairs(self, mapping, shard, t0, t1):
+        """(time, value) pairs in the half-open stage window ``(t0, t1]``."""
+        pairs = self._times(mapping, shard)
+        top = float("inf")
+        return pairs[
+            bisect_right(pairs, (t0, top)): bisect_right(pairs, (t1, top))
+        ]
 
     def next_token_after(self, shard, time, default):
         times = self._times(self.token_times, shard)
@@ -163,12 +204,35 @@ def attribute_span(span, evidence, cost_model=None, shard=None):
         tokens = evidence.window(evidence.token_times, shard, t0, t1)
         components.append(("token_wait", (tokens[0] - t0) if tokens else 0.0))
 
-        # Crypto work on the path, priced by the cost model.
+        # Crypto work on the path, priced by the cost model.  Only
+        # *signed* token events cost RSA time; in batch mode that work
+        # moves to certificates, priced at their recorded batch size.
         if cost_model is not None:
             sends = evidence.window(evidence.send_times, shard, t0, t1)
-            receives = len(tokens) - len(sends)
+            receives = evidence.window(evidence.receive_times, shard, t0, t1)
             components.append(("signing", len(sends) * cost_model.sign_cost()))
-            components.append(("verification", receives * cost_model.verify_cost()))
+            components.append(
+                ("verification", len(receives) * cost_model.verify_cost())
+            )
+            batch_signs = evidence.window_pairs(evidence.batch_signs, shard, t0, t1)
+            batch_verifies = evidence.window_pairs(
+                evidence.batch_verifies, shard, t0, t1
+            )
+            components.append(
+                (
+                    "batch_sign",
+                    sum(cost_model.batch_sign_cost(count) for _, count in batch_signs),
+                )
+            )
+            components.append(
+                (
+                    "batch_verify",
+                    sum(
+                        cost_model.batch_verify_cost(count)
+                        for _, count in batch_verifies
+                    ),
+                )
+            )
 
         # Clamp in fixed priority order so causes never oversubscribe
         # the stage; the unexplained remainder is ordering/network time.

@@ -769,7 +769,7 @@ def render_report(report, show_all=False):
 # the seeded intrusion drill (the CLI scenario)
 # ----------------------------------------------------------------------
 
-def run_intrusion_drill(seed=23, capacity=DEFAULT_CAPACITY):
+def run_intrusion_drill(seed=23, capacity=DEFAULT_CAPACITY, batch=False):
     """One seeded case-4 intrusion drill with forensics attached.
 
     Three injected faults, each a different Table 1 class:
@@ -780,6 +780,11 @@ def run_intrusion_drill(seed=23, capacity=DEFAULT_CAPACITY):
     * *mutant tokens*: P4 equivocates, sending different signed tokens
       for the same visit to different halves of the ring;
     * a *crash*: P3 fail-stops late in the run.
+
+    With ``batch=True`` the drill runs on the batch-signature pipeline
+    (unsigned tokens, span certificates): the mutant is then convicted
+    by the contradiction between its validly signed token and its own
+    verified certificate, and attribution must stay exact.
 
     Returns ``(immune, obs, scenario_info)``.
     """
@@ -804,7 +809,9 @@ def run_intrusion_drill(seed=23, capacity=DEFAULT_CAPACITY):
             self.total += amount
             return self.total
 
-    config = ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=seed)
+    config = ImmuneConfig(
+        case=SurvivabilityCase.FULL_SURVIVABILITY, seed=seed, batch_signatures=batch
+    )
     plan = FaultPlan()
     plan.schedule_crash(3, 2.6)
 
@@ -864,6 +871,7 @@ def run_intrusion_drill(seed=23, capacity=DEFAULT_CAPACITY):
     scenario = {
         "scenario": "intrusion-drill",
         "case": config.case.name,
+        "batch_signatures": batch,
         "seed": seed,
         "processors": 6,
         "operations": operations,
@@ -900,6 +908,10 @@ def main(argv=None):
         help="flight-recorder ring-buffer capacity (default: %(default)s)",
     )
     parser.add_argument(
+        "--batch", action="store_true",
+        help="run the drill on the batch-signature token pipeline",
+    )
+    parser.add_argument(
         "--assert-precision", type=float, default=None, metavar="P",
         help="exit nonzero unless scorecard precision >= P",
     )
@@ -909,7 +921,9 @@ def main(argv=None):
     )
     args = parser.parse_args(argv)
 
-    _, obs, scenario = run_intrusion_drill(seed=args.seed, capacity=args.capacity)
+    _, obs, scenario = run_intrusion_drill(
+        seed=args.seed, capacity=args.capacity, batch=args.batch
+    )
     report = build_report(obs.forensics, scenario=scenario)
     blob = json.dumps(report, sort_keys=True, indent=2) + "\n"
     with open(args.out, "w") as fh:

@@ -175,3 +175,75 @@ def test_render_critpath_shows_bars_and_stages():
     assert "#" in text
     assert "ordering" in text
     assert "vote_quorum_wait" in text
+
+
+def batch_event(time, etype, shard=0, **fields):
+    return ForensicEvent(time, proc=0, ring=0, seq=None, etype=etype,
+                         fields=fields, shard=shard)
+
+
+def test_batch_causes_are_in_the_taxonomy():
+    assert "batch_sign" in CAUSES
+    assert "batch_verify" in CAUSES
+
+
+def test_unsigned_tokens_cost_no_rsa_time():
+    span = span_with({"intercepted": 0.0, "ordered": 1.0})
+    evidence = _TokenEvidence([
+        batch_event(0.2, "token_send", signed=False),
+        batch_event(0.4, "token_receive", signed=False),
+    ])
+    costs = CryptoCostModel(modulus_bits=300)
+    causes = causes_of(attribute_span(span, evidence, cost_model=costs))
+    assert "signing" not in causes
+    assert "verification" not in causes
+    # Unsigned events still mark token arrivals for token_wait.
+    assert causes["token_wait"] == pytest.approx(0.2)
+    assert sum(causes.values()) == pytest.approx(1.0)
+
+
+def test_batch_sign_and_verify_are_priced_at_recorded_batch_size():
+    span = span_with({"intercepted": 0.0, "ordered": 1.0})
+    evidence = _TokenEvidence([
+        batch_event(0.2, "token_receive", signed=False),
+        batch_event(0.3, "batch_sign", count=8),
+        batch_event(0.5, "batch_verify", count=8),
+        batch_event(0.6, "batch_verify", count=4),
+    ])
+    costs = CryptoCostModel(modulus_bits=300)
+    causes = causes_of(attribute_span(span, evidence, cost_model=costs))
+    assert causes["batch_sign"] == pytest.approx(costs.batch_sign_cost(8))
+    assert causes["batch_verify"] == pytest.approx(
+        costs.batch_verify_cost(8) + costs.batch_verify_cost(4)
+    )
+    # The batch causes displace residual ordering, never inflate the total.
+    assert sum(causes.values()) == pytest.approx(1.0)
+
+
+def test_batch_events_respect_stage_window_and_shard():
+    span = span_with({"intercepted": 0.0, "ordered": 1.0})
+    evidence = _TokenEvidence([
+        batch_event(0.5, "batch_sign", count=4, shard=0),
+        batch_event(0.5, "batch_sign", count=4, shard=1),
+        batch_event(2.0, "batch_sign", count=4, shard=0),  # after the stage
+    ])
+    costs = CryptoCostModel(modulus_bits=300)
+    causes = causes_of(attribute_span(span, evidence, shard=0, cost_model=costs))
+    assert causes["batch_sign"] == pytest.approx(costs.batch_sign_cost(4))
+    # shard=None merges rings: both in-window signings are priced.
+    merged = causes_of(attribute_span(span, evidence, shard=None, cost_model=costs))
+    assert merged["batch_sign"] == pytest.approx(2 * costs.batch_sign_cost(4))
+
+
+def test_batch_causes_clamp_to_stage_duration():
+    # Stage far shorter than the priced batch crypto: exact-sum holds.
+    span = span_with({"intercepted": 0.0, "ordered": 1e-4})
+    evidence = _TokenEvidence([
+        batch_event(5e-5, "batch_sign", count=64),
+        batch_event(6e-5, "batch_verify", count=64),
+    ])
+    costs = CryptoCostModel(modulus_bits=300)
+    rows = attribute_span(span, evidence, cost_model=costs)
+    causes = causes_of(rows)
+    assert sum(causes.values()) == pytest.approx(1e-4)
+    assert all(cause in CAUSES for _st, cause, _s in rows)
