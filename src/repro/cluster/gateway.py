@@ -96,6 +96,9 @@ class _DirectionalForwarder:
             self._forensics = obs.forensics.recorder(src_pid)
         else:
             self._forensics = None
+        # the causal trace, ring-scoped to the *source* ring: the vote
+        # this forwarder merges happens on the source ring's total order
+        self._tracer = getattr(obs, "trace", None) if obs is not None else None
         self.stats = {"forwarded": 0, "suppressed": 0, "ignored": 0}
         self._src_endpoint.on_deliver(self._on_deliver)
 
@@ -160,15 +163,28 @@ class _DirectionalForwarder:
         self.stats["forwarded"] += 1
         if self._m_forwarded is not None:
             self._m_forwarded.inc()
+        if message.kind == KIND_INVOCATION:
+            trace_key, phase = (message.source_group, message.op_num), "req"
+            stage = "gateway_forwarded"
+        else:
+            trace_key, phase = (message.target_group, message.op_num), "rep"
+            stage = "reply_gateway_forwarded"
         if self._spans is not None:
-            if message.kind == KIND_INVOCATION:
-                self._spans.mark(
-                    (message.source_group, message.op_num), "gateway_forwarded"
-                )
-            else:
-                self._spans.mark(
-                    (message.target_group, message.op_num), "reply_gateway_forwarded"
-                )
+            self._spans.mark(trace_key, stage)
+        encoded = wrapped.encode()
+        if self._tracer is not None:
+            self._tracer.mark_stage(trace_key, stage)
+            # The fork: each gateway replica hangs its own gw_forward
+            # node off the source ring's vote_decided node, and its
+            # re-originated bytes register so the destination ring's
+            # copy/vote nodes merge the branches back together.
+            self._tracer.gateway_forwarded(
+                trace_key, phase, self.dst_pid,
+                self.src_ring, self.dst_ring, bool(self.replica.corrupt),
+            )
+            self._tracer.register_payload(
+                encoded, trace_key, phase, ("gw_forward", phase, self.dst_pid)
+            )
         if self._forensics is not None:
             self._forensics.record(
                 "gateway_forward",
@@ -181,7 +197,7 @@ class _DirectionalForwarder:
                 via=(self.src_pid, self.dst_pid),
                 corrupt=bool(self.replica.corrupt),
             )
-        self._dst_endpoint.multicast(message.target_group, wrapped.encode())
+        self._dst_endpoint.multicast(message.target_group, encoded)
 
 
 class GatewayReplica:

@@ -144,12 +144,81 @@ class RingScopedForensics:
         return self._hub.now()
 
 
+class RingScopedTrace:
+    """A shard-stamping view of the shared :class:`TraceCollector`.
+
+    Key-addressed calls (stage marks, payload registration) pass
+    through untouched — traces are keyed by logical invocation, like
+    spans.  Positional calls (sequence numbers, token visits, vote
+    tallies) get this ring's shard index stamped in, because every ring
+    numbers its sequences and visits from zero.
+    """
+
+    def __init__(self, collector, shard):
+        #: the shared root collector (never another scoped view)
+        self.collector = getattr(collector, "collector", collector)
+        self.shard = shard
+
+    def bind(self, scheduler):
+        self.collector.bind(scheduler)
+        return self
+
+    # key-addressed passthrough -----------------------------------------
+
+    def begin(self, key, oneway=False):
+        return self.collector.begin(key, oneway=oneway)
+
+    def mark_stage(self, key, stage):
+        self.collector.mark_stage(key, stage)
+
+    def register_payload(self, payload, key, phase, parent):
+        self.collector.register_payload(payload, key, phase, parent)
+
+    def context_for(self, payload):
+        return self.collector.context_for(payload)
+
+    # shard-stamped positional hooks ------------------------------------
+
+    def fragmented(self, ctx, sender, total):
+        return self.collector.fragmented(ctx, sender, total, shard=self.shard)
+
+    def copy_sent(self, ctx, sender, seq):
+        self.collector.copy_sent(ctx, sender, seq, shard=self.shard)
+
+    def token_covered(self, seq, token_info):
+        self.collector.token_covered(seq, token_info, shard=self.shard)
+
+    def certified(self, cert_info):
+        self.collector.certified(cert_info, shard=self.shard)
+
+    def retransmitted(self, seq, sender):
+        self.collector.retransmitted(seq, sender, shard=self.shard)
+
+    def delivered(self, seq, sender, covering_visit):
+        self.collector.delivered(seq, sender, covering_visit, shard=self.shard)
+
+    def reassembled(self, seq, sender):
+        self.collector.reassembled(seq, sender, shard=self.shard)
+
+    def vote_copy(self, key, phase, sender):
+        self.collector.vote_copy(key, phase, sender, shard=self.shard)
+
+    def vote_decided(self, key, phase):
+        self.collector.vote_decided(key, phase, shard=self.shard)
+
+    def gateway_forwarded(self, key, phase, via, from_ring, to_ring, corrupt):
+        self.collector.gateway_forwarded(
+            key, phase, via, from_ring, to_ring, corrupt, shard=self.shard
+        )
+
+
 class RingObservability:
     """The per-ring observability bundle handed to one ring's facade.
 
     Structurally an :class:`~repro.obs.Observability`: a ``registry``
     (ring-scoped), ``spans`` (shared), ``forensics`` (shard-stamping
-    view or ``None``), and ``bind``.
+    view or ``None``), ``trace`` (shard-stamping view or ``None``),
+    and ``bind``.
     """
 
     def __init__(self, obs, ring_index):
@@ -161,6 +230,10 @@ class RingObservability:
             RingScopedForensics(obs.forensics, ring_index)
             if obs.forensics is not None
             else None
+        )
+        trace = getattr(obs, "trace", None)
+        self.trace = (
+            RingScopedTrace(trace, ring_index) if trace is not None else None
         )
 
     def bind(self, scheduler):

@@ -65,6 +65,9 @@ class ReplicationManager:
         self._trace = trace
         self._obs = obs
         self._spans = obs.spans if obs is not None else None
+        # the causal TraceCollector; distinct from self._trace, which is
+        # the simulator's debug TraceLog
+        self._tracer = getattr(obs, "trace", None) if obs is not None else None
         self.my_id = processor.proc_id
         self.groups = ObjectGroupTable()
         self.voting_enabled = config.case.voting
@@ -199,6 +202,18 @@ class ReplicationManager:
     def dup_filter_for(self, group_name):
         return self._dup_filters.get(group_name)
 
+    def _mark_stage(self, key, stage):
+        """Mark a Figure-7 stage on the span and the causal trace.
+
+        The two always mark together, at the same simulation instant,
+        which is what makes the trace's per-cause sums provably equal
+        the critpath decomposition.
+        """
+        if self._spans is not None:
+            self._spans.mark(key, stage)
+        if self._tracer is not None:
+            self._tracer.mark_stage(key, stage)
+
     # ------------------------------------------------------------------
     # outbound: intercepted IIOP
     # ------------------------------------------------------------------
@@ -249,7 +264,7 @@ class ReplicationManager:
             self._spans.begin(
                 (source_group, op_num), oneway=not message.response_expected
             )
-            self._spans.mark((source_group, op_num), "intercepted")
+        self._mark_stage((source_group, op_num), "intercepted")
         if self._trace is not None and self._trace.active:
             self._trace.record(
                 "rm.invoke",
@@ -258,17 +273,27 @@ class ReplicationManager:
                 target=reference.group_name,
                 op_num=op_num,
             )
-        self.endpoint.multicast(reference.group_name, wrapped.encode())
-        if self._spans is not None:
-            self._spans.mark((source_group, op_num), "multicast_queued")
+        encoded = wrapped.encode()
+        if self._tracer is not None:
+            self._tracer.begin(
+                (source_group, op_num), oneway=not message.response_expected
+            )
+            # Each client replica registers its own encoding (the bytes
+            # embed its pid); the delivery layer resolves the copy back
+            # to this context when it assigns a ring sequence number.
+            self._tracer.register_payload(
+                encoded, (source_group, op_num), "req",
+                ("stage", "multicast_queued"),
+            )
+        self.endpoint.multicast(reference.group_name, encoded)
+        self._mark_stage((source_group, op_num), "multicast_queued")
 
     def _response_sink(self, client_group, op_num, server_group):
         def send_response(reply_frame):
             if self.processor.crashed:
                 return
             self.processor.charge(INTERCEPTION_COST, "rm.intercept")
-            if self._spans is not None:
-                self._spans.mark((client_group, op_num), "executed")
+            self._mark_stage((client_group, op_num), "executed")
             wrapped = ImmuneMessage(
                 KIND_RESPONSE,
                 server_group,
@@ -280,7 +305,13 @@ class ReplicationManager:
             self.stats["responses_sent"] += 1
             if self._m_responses_sent is not None:
                 self._m_responses_sent.inc()
-            self.endpoint.multicast(client_group, wrapped.encode())
+            encoded = wrapped.encode()
+            if self._tracer is not None:
+                self._tracer.register_payload(
+                    encoded, (client_group, op_num), "rep",
+                    ("stage", "executed"),
+                )
+            self.endpoint.multicast(client_group, encoded)
 
         return send_response
 
@@ -314,13 +345,12 @@ class ReplicationManager:
         self._buffer_if_joining(sender_id, seq, dest_group, payload)
         if dest_group not in self._local_groups:
             return  # filtered: no replica of the target group here
-        if self._spans is not None:
-            if message.kind == KIND_INVOCATION:
-                self._spans.mark((message.source_group, message.op_num), "ordered")
-            else:
-                self._spans.mark(
-                    (message.target_group, message.op_num), "reply_ordered"
-                )
+        if message.kind == KIND_INVOCATION:
+            self._mark_stage((message.source_group, message.op_num), "ordered")
+        else:
+            self._mark_stage(
+                (message.target_group, message.op_num), "reply_ordered"
+            )
         if message.kind == KIND_RESPONSE and message.source_group in self._passive_sources:
             # A passive primary answers alone; there is nothing to vote
             # on — which is precisely why passive replication cannot
@@ -343,8 +373,8 @@ class ReplicationManager:
         if outcome is None:
             return
         if isinstance(outcome, VoteDecision):
-            if self._spans is not None and message.kind == KIND_INVOCATION:
-                self._spans.mark((message.source_group, message.op_num), "voted")
+            if message.kind == KIND_INVOCATION:
+                self._mark_stage((message.source_group, message.op_num), "voted")
             if outcome.faulty_senders:
                 self._publish_value_fault(message, outcome.vote_set)
             self._deliver_operation(message, outcome.body)
@@ -358,8 +388,8 @@ class ReplicationManager:
             if self._m_dups_suppressed is not None:
                 self._m_dups_suppressed.inc()
             return
-        if self._spans is not None and message.kind == KIND_INVOCATION:
-            self._spans.mark((message.source_group, message.op_num), "voted")
+        if message.kind == KIND_INVOCATION:
+            self._mark_stage((message.source_group, message.op_num), "voted")
         self._deliver_operation(message, message.body)
 
     def _deliver_operation(self, message, body):
@@ -370,10 +400,7 @@ class ReplicationManager:
         if self._m_delivered is not None:
             self._m_delivered.inc()
         if message.kind == KIND_INVOCATION:
-            if self._spans is not None:
-                self._spans.mark(
-                    (message.source_group, message.op_num), "dispatched"
-                )
+            self._mark_stage((message.source_group, message.op_num), "dispatched")
             reply_sink = self._response_sink(
                 message.source_group, message.op_num, message.target_group
             )
@@ -401,8 +428,7 @@ class ReplicationManager:
         if not isinstance(reply, ReplyMessage):
             return
         restored = ReplyMessage(original_id, reply.reply_status, reply.body).encode()
-        if self._spans is not None:
-            self._spans.mark((message.target_group, message.op_num), "reply_voted")
+        self._mark_stage((message.target_group, message.op_num), "reply_voted")
         if self._trace is not None and self._trace.active:
             self._trace.record(
                 "rm.deliver_response",

@@ -19,6 +19,8 @@ at every replica, so every voter produces the same result for every
 operation — the property the paper's value fault detector requires.
 """
 
+from repro.core.identifiers import KIND_INVOCATION, KIND_RESPONSE
+
 
 class VoteDecision:
     """The outcome of a completed vote."""
@@ -84,6 +86,22 @@ class Voter:
             self._forensics = obs.forensics.recorder(proc_id)
         else:
             self._forensics = None
+        # the causal TraceCollector (or its ring-scoped view)
+        self._tracer = getattr(obs, "trace", None) if obs is not None else None
+
+    @staticmethod
+    def _trace_target(op_num):
+        """(trace key, phase) when ``op_num`` is a Replication Manager /
+        gateway op key ``(kind, source_group, target_group, op_num)``;
+        None for the bare operation ids direct protocol tests use."""
+        if not (isinstance(op_num, tuple) and len(op_num) == 4):
+            return None
+        kind, source_group, target_group, inner_op = op_num
+        if kind == KIND_INVOCATION:
+            return (source_group, inner_op), "req"
+        if kind == KIND_RESPONSE:
+            return (target_group, inner_op), "rep"
+        return None
 
     def add_copy(self, source_group, op_num, sender, body):
         """Tally one copy; returns VoteDecision, LateFault, or None."""
@@ -94,6 +112,10 @@ class Voter:
         self.stats["copies"] += 1
         if self._m_copies is not None:
             self._m_copies.inc()
+        if self._tracer is not None:
+            target = self._trace_target(op_num)
+            if target is not None:
+                self._tracer.vote_copy(target[0], target[1], sender)
 
         decided = self._decided.get(op_key)
         if decided is not None:
@@ -167,6 +189,10 @@ class Voter:
         self.stats["decisions"] += 1
         if self._m_copies is not None:
             self._m_decisions.inc()
+        if self._tracer is not None:
+            target = self._trace_target(op_key[1])
+            if target is not None:
+                self._tracer.vote_decided(target[0], target[1])
         return VoteDecision(op_key, body, winner, faulty, tuple(vote_set))
 
     def reconsider(self):

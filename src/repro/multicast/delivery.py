@@ -200,6 +200,9 @@ class DeliveryProtocol:
             self._forensics = obs.forensics.recorder(self.my_id)
         else:
             self._forensics = None
+        # the causal TraceCollector (or its ring-scoped view); distinct
+        # from self._trace, the simulator's debug TraceLog
+        self._tracer = getattr(obs, "trace", None) if obs is not None else None
         #: mutant evidence already recorded, keyed (ring, visit, holder):
         #: evidence rebroadcasts re-present the same mutant many times
         self._forensic_mutants = set()
@@ -305,18 +308,23 @@ class DeliveryProtocol:
         reassembles and delivers the joined payload once the *last*
         fragment's sequence number is deliverable.
         """
+        ctx = self._tracer.context_for(payload) if self._tracer is not None else None
         limit = self.config.fragment_payload_bytes
         if len(payload) > limit:
             chunks = [payload[i : i + limit] for i in range(0, len(payload), limit)]
             self._frag_counter += 1
             frag_id = self._frag_counter
             total = len(chunks)
+            if ctx is not None:
+                # The split is a causal node; every chunk's copy hangs
+                # off it instead of the original payload's parent.
+                ctx = self._tracer.fragmented(ctx, self.my_id, total)
             for index, chunk in enumerate(chunks):
                 self._send_queue.append(
-                    (dest_group, chunk, (frag_id, index, total))
+                    (dest_group, chunk, (frag_id, index, total), ctx)
                 )
         else:
-            self._send_queue.append((dest_group, payload, None))
+            self._send_queue.append((dest_group, payload, None, ctx))
         self._last_activity = self.scheduler.now
         self._release_parked_token()
 
@@ -748,6 +756,8 @@ class DeliveryProtocol:
             self._forensics.record(
                 "batch_sign", reason=reason, **cert.forensic_summary()
             )
+        if self._tracer is not None:
+            self._tracer.certified(cert.trace_summary())
         # The frame leaves once the CPU finishes the signature — for a
         # backpressure certificate that delay lands on the critical
         # path (before this visit's token), for a cadence certificate
@@ -978,6 +988,10 @@ class DeliveryProtocol:
         self._token_raw_by_visit[token.visit] = raw
         for seq, _ in digest_list:
             self._token_covering[seq] = token.visit
+        if self._tracer is not None and digest_list:
+            summary = token.trace_summary()
+            for seq, _ in digest_list:
+                self._tracer.token_covered(seq, summary)
         self._prune_token_history(token.visit)
         self.stats["token_visits"] += 1
         if self._m_token_visits is not None:
@@ -1022,8 +1036,10 @@ class DeliveryProtocol:
         digest_list = []
         budget = self.config.max_messages_per_token_visit
         while self._send_queue and budget > 0:
-            dest_group, payload, frag = self._send_queue.popleft()
+            dest_group, payload, frag, trace_ctx = self._send_queue.popleft()
             seq = self._max_seq_seen + 1
+            if trace_ctx is not None:
+                self._tracer.copy_sent(trace_ctx, self.my_id, seq)
             if frag is None:
                 message = RegularMessage(
                     self.my_id, self.ring_id, seq, dest_group, payload
@@ -1081,6 +1097,10 @@ class DeliveryProtocol:
             if visit is not None:
                 covering_visits.add(visit)
             rtg.append(seq)
+            if self._tracer is not None:
+                # The servicing holder need not be the originator: any
+                # processor still holding the bytes resends them.
+                self._tracer.retransmitted(seq, self.my_id)
         # A requester that missed the covering token cannot verify or
         # deliver the message: resend those tokens alongside.
         for visit in sorted(covering_visits):
@@ -1180,6 +1200,10 @@ class DeliveryProtocol:
                     sender=message.sender_id,
                     group=message.dest_group,
                 )
+            if self._tracer is not None:
+                self._tracer.delivered(
+                    seq, message.sender_id, self._token_covering.get(seq)
+                )
             self.processor.charge(
                 self.config.message_handling_cost, "multicast.deliver", priority=True
             )
@@ -1226,6 +1250,8 @@ class DeliveryProtocol:
             return
         del self._reassembly[key]
         payload = b"".join(entry["chunks"][i] for i in range(entry["total"]))
+        if self._tracer is not None:
+            self._tracer.reassembled(message.seq, message.sender_id)
         self.deliver_cb(message.sender_id, message.seq, message.dest_group, payload)
 
     def _select_deliverable(self, seq, variants):

@@ -195,6 +195,15 @@ class Token:
             return False
         return True
 
+    def trace_summary(self):
+        """Attribute dict for a causal-trace token node: who held the
+        token on this rotation, and which rotation it was."""
+        return {
+            "holder": self.sender_id,
+            "visit": self.visit,
+            "token_seq": self.seq,
+        }
+
     def forensic_summary(self):
         """Compact field dict for the forensic flight recorder."""
         return {
@@ -299,6 +308,16 @@ class TokenCertificate:
         if self.first_visit < 1:
             return False
         return True
+
+    def trace_summary(self):
+        """Attribute dict for a causal-trace certificate node: the span
+        of token visits one batch signature vouches."""
+        return {
+            "signer": self.signer_id,
+            "first_visit": self.first_visit,
+            "last_visit": self.last_visit,
+            "count": len(self.digests),
+        }
 
     def forensic_summary(self):
         return {

@@ -32,6 +32,15 @@ from repro.obs.slo import DEFAULT_SLOS, BurnRule, SLOEngine, SLOSpec
 from repro.obs.spans import SPAN_STAGES, InvocationSpan, SpanTracker
 
 
+def __getattr__(name):
+    # Lazy so `python -m repro.obs.trace` does not import the module
+    # twice (once here, once as __main__).
+    if name == "TraceCollector":
+        from repro.obs.trace import TraceCollector
+        return TraceCollector
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
+
 class Observability:
     """One deployment's metrics registry, span tracker, and (optionally)
     the survivability-forensics hub of per-processor flight recorders
@@ -39,7 +48,8 @@ class Observability:
     :class:`~repro.obs.forensics.ForensicsHub` is supplied, so ordinary
     runs pay nothing for the recorder hooks."""
 
-    def __init__(self, registry=None, spans=None, max_spans=None, forensics=None):
+    def __init__(self, registry=None, spans=None, max_spans=None, forensics=None,
+                 trace=None):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.spans = (
             spans
@@ -47,12 +57,19 @@ class Observability:
             else SpanTracker(registry=self.registry, max_spans=max_spans)
         )
         self.forensics = forensics
+        #: optional :class:`~repro.obs.trace.TraceCollector`; like
+        #: forensics, ``None`` means the trace hooks cost nothing.
+        self.trace = trace
+        if trace is not None and trace._registry is None:
+            trace._registry = self.registry
 
     def bind(self, scheduler):
         """Attach the simulation's scheduler as the time source."""
         self.spans.bind(scheduler)
         if self.forensics is not None:
             self.forensics.bind(scheduler)
+        if self.trace is not None:
+            self.trace.bind(scheduler)
         return self
 
 
@@ -71,5 +88,6 @@ __all__ = [
     "Series",
     "SeriesSampler",
     "SpanTracker",
+    "TraceCollector",
     "sparkline",
 ]

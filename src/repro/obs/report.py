@@ -60,6 +60,7 @@ def load_summary(path):
         raise ReportInputError("JSONL input %s is empty" % path)
     summary = None
     run_info = None
+    payload_records = 0
     for index, line in enumerate(lines, start=1):
         try:
             record = json.loads(line)
@@ -72,10 +73,19 @@ def load_summary(path):
             summary = record
         elif kind == "run":
             run_info = record
+        elif kind in ("series", "span"):
+            payload_records += 1
     if summary is None:
         raise ReportInputError(
             "JSONL input %s has no summary record (not a repro.obs artefact?)"
             % path
+        )
+    if payload_records == 0:
+        # A summary over nothing is a broken export, not a quiet run:
+        # every instrumented run records at least its invocation spans.
+        raise ReportInputError(
+            "JSONL input %s has no series or span records — the export is "
+            "empty; re-run the report" % path
         )
     return summary, run_info
 

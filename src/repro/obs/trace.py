@@ -1,0 +1,1037 @@
+"""Causal distributed tracing: per-invocation DAGs across the stack.
+
+A :class:`~repro.obs.spans.SpanTracker` span answers *where* one
+logical invocation spent its time and :mod:`repro.obs.critpath`
+answers *why*, but both flatten the invocation into per-stage deltas.
+This module keeps the *shape*: every causal edge an invocation crosses
+— the GIOP interception, each client replica's multicast copy, the
+token rotation (and, in batch mode, the :class:`TokenCertificate`
+vouching it), retransmission stalls, fragment split/reassembly, vote
+collection, and the cross-ring gateway re-origination — becomes a node
+in a per-invocation DAG assembled by a :class:`TraceCollector`.
+
+Context propagation rules
+-------------------------
+
+* The trace key is the logical invocation id ``(source_group,
+  op_num)`` — the same key the span tracker uses — plus a *phase*
+  (``"req"`` or ``"rep"``) distinguishing the request from the reply
+  leg.  The ``trace_id`` is a deterministic hash of the key, and the
+  sampling decision is a deterministic function of the ``trace_id``,
+  so repeated runs sample identical invocations.
+* Producers that hand a payload to the multicast layer *register* the
+  encoded bytes with the collector (the client Replication Manager for
+  requests, the server RM for replies, a gateway replica for its
+  re-originated copy).  The delivery layer looks the bytes back up
+  when it assigns a ring sequence number — the same mechanism as the
+  fan-out decode memo.  Each replica registers its own encoding (the
+  wrapped bytes embed its pid), and every encoding resolves to the
+  same logical context, so all copies land on one trace.
+* From the sequence number on, propagation is positional: the
+  collector keeps global ``(shard, seq) -> trace`` bindings, so token
+  coverage, retransmission servicing (which happens at whichever
+  processor holds the token, not the originator), delivery commits,
+  and fragment reassembly attach to the right trace without carrying
+  bytes around.
+* Ring-scoped views (:class:`repro.cluster.obsbridge.RingScopedTrace`)
+  stamp the ring index into every positional call, exactly like the
+  shard-stamped flight recorders.
+
+The masked-Byzantine gateway fork is visible structurally: the three
+gateway replicas of a link each add a ``gw_forward`` node under the
+source ring's ``vote_decided`` node (three sibling branches, the
+corrupt one flagged), and their re-originated copies converge on the
+destination ring's ``vote_decided`` node — the voted merge.
+
+Cross-validation is the correctness anchor: the timing edges between
+consecutive stage nodes carry the *exact*
+:func:`repro.obs.critpath.attribute_span` cause rows, computed from
+the trace's own stage-node times, and :func:`verify_against_critpath`
+asserts those times (and therefore every per-cause sum) equal the span
+tracker's ground truth for every sampled invocation.  Exports are
+deterministic JSONL, byte-identical across runs and
+``REPRO_PERF_MODE`` settings.
+"""
+
+import hashlib
+import json
+import sys
+
+from repro.obs.critpath import _TokenEvidence, _fmt_seconds, attribute_span
+from repro.obs.spans import SPAN_STAGES, InvocationSpan
+
+#: request / reply phase tags carried in every node key
+PHASE_REQUEST = "req"
+PHASE_REPLY = "rep"
+
+
+def trace_id_for(key):
+    """Deterministic 64-bit hex trace id for one invocation key."""
+    text = "%s:%s" % (key[0], key[1])
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:16]
+
+
+class _TraceDag:
+    """One invocation's causal DAG under construction."""
+
+    __slots__ = ("key", "trace_id", "oneway", "nodes", "edges", "_edge_set")
+
+    def __init__(self, key, trace_id):
+        self.key = key
+        self.trace_id = trace_id
+        self.oneway = False
+        #: node key tuple -> {"id", "time", "attrs"}; insertion order is
+        #: observation order, which the export preserves.
+        self.nodes = {}
+        self.edges = []
+        self._edge_set = set()
+
+    def node(self, node_key, time, parents=()):
+        """Get-or-create a node; first observation wins the timestamp.
+
+        ``parents`` are node keys; a parent not (yet) observed is
+        skipped silently — the node simply roots a dangling branch,
+        which the renderer shows as a separate root.
+        """
+        entry = self.nodes.get(node_key)
+        created = entry is None
+        if created:
+            entry = {"id": len(self.nodes), "time": time, "attrs": {}}
+            self.nodes[node_key] = entry
+        for parent in parents:
+            existing = self.nodes.get(parent)
+            if existing is not None:
+                self.edge(existing["id"], entry["id"])
+        return entry, created
+
+    def edge(self, parent_id, child_id):
+        if parent_id != child_id and (parent_id, child_id) not in self._edge_set:
+            self._edge_set.add((parent_id, child_id))
+            self.edges.append([parent_id, child_id])
+
+    def stage_marks(self):
+        """stage -> first observation time, mirroring span marks."""
+        return {
+            node_key[1]: entry["time"]
+            for node_key, entry in self.nodes.items()
+            if node_key[0] == "stage"
+        }
+
+    def pseudo_span(self):
+        """An :class:`InvocationSpan` rebuilt from the stage nodes."""
+        span = InvocationSpan(self.key, self.oneway)
+        for stage, time in self.stage_marks().items():
+            span.mark(stage, time)
+        return span
+
+
+class TraceCollector:
+    """Assembles per-invocation causal DAGs from instrumentation hooks.
+
+    Reached by the protocol layers as ``obs.trace`` (the name ``trace``
+    alone is taken by the simulator's debug :class:`TraceLog`, so the
+    layers store it as ``self._tracer``).  ``sample_every=N`` keeps one
+    invocation in N, decided by trace-id hash so the choice is
+    deterministic and identical at every processor; unsampled
+    invocations cost one cache lookup per hook and are counted in
+    :attr:`dropped`.
+    """
+
+    def __init__(self, registry=None, sample_every=1):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1, got %r" % (sample_every,))
+        self._scheduler = None
+        self._registry = registry
+        self.sample_every = int(sample_every)
+        self._traces = {}
+        self._sample_cache = {}
+        self.sampled = 0
+        #: invocations seen but not sampled (explicit, never silent)
+        self.dropped = 0
+        #: payload bytes -> (key, phase, parent node key)
+        self._payloads = {}
+        #: (shard, seq) -> (key, phase, origin sender)
+        self._seq_bindings = {}
+        #: (shard, token visit) -> [(key, phase), ...] covered by it
+        self._visit_bindings = {}
+
+    @property
+    def collector(self):
+        """Self — lets ring-scoped views and the root share one accessor."""
+        return self
+
+    def bind(self, scheduler):
+        """Attach the simulation's time source (done by the facade)."""
+        self._scheduler = scheduler
+        return self
+
+    @property
+    def _now(self):
+        return self._scheduler.now if self._scheduler is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+
+    def is_sampled(self, key):
+        decision = self._sample_cache.get(key)
+        if decision is None:
+            decision = int(trace_id_for(key)[:8], 16) % self.sample_every == 0
+            self._sample_cache[key] = decision
+            if decision:
+                self.sampled += 1
+                if self._registry is not None:
+                    self._registry.counter("trace.sampled").inc()
+            else:
+                self.dropped += 1
+                if self._registry is not None:
+                    self._registry.counter("trace.dropped").inc()
+        return decision
+
+    def _ensure(self, key):
+        trace = self._traces.get(key)
+        if trace is None and self.is_sampled(key):
+            trace = self._traces[key] = _TraceDag(key, trace_id_for(key))
+        return trace
+
+    def traces(self):
+        """Every sampled trace, in creation order."""
+        return list(self._traces.values())
+
+    def get(self, key):
+        return self._traces.get(key)
+
+    # ------------------------------------------------------------------
+    # interceptor / stage hooks (key-addressed)
+    # ------------------------------------------------------------------
+
+    def begin(self, key, oneway=False):
+        trace = self._ensure(key)
+        if trace is not None:
+            trace.oneway = bool(oneway)
+        return trace
+
+    def mark_stage(self, key, stage):
+        """Record a Figure-7 stage node; first observation wins.
+
+        Called adjacent to every ``SpanTracker.mark`` so the trace's
+        stage times are identical to the span's by construction.
+        """
+        trace = self._ensure(key)
+        if trace is not None:
+            trace.node(("stage", stage), self._now)
+
+    def register_payload(self, payload, key, phase, parent):
+        """Bind encoded multicast bytes to a trace before sending.
+
+        Registrations are keyed by exact bytes and never popped (the
+        delivery layer may look a payload up more than once, e.g. when
+        splitting it into fragments).  Distinct producers register
+        distinct encodings — the wrapped bytes embed the sender pid —
+        that resolve to the same logical context.
+        """
+        if self._ensure(key) is None:
+            return
+        self._payloads.setdefault(payload, (key, phase, parent))
+
+    def context_for(self, payload):
+        """The (key, phase, parent) context for registered bytes, or None."""
+        return self._payloads.get(payload)
+
+    # ------------------------------------------------------------------
+    # multicast / delivery hooks (shard-positional)
+    # ------------------------------------------------------------------
+
+    def fragmented(self, ctx, sender, total, shard=0):
+        """A payload split into ``total`` fragments; returns the derived
+        context the fragment copies should propagate."""
+        key, phase, parent = ctx
+        trace = self._traces.get(key)
+        if trace is None:
+            return ctx
+        node_key = ("fragment", phase, shard, sender)
+        entry, _ = trace.node(node_key, self._now, parents=(parent,))
+        entry["attrs"]["fragments"] = total
+        return (key, phase, node_key)
+
+    def copy_sent(self, ctx, sender, seq, shard=0):
+        """One replica's copy got ring sequence number ``seq``."""
+        key, phase, parent = ctx
+        trace = self._traces.get(key)
+        if trace is None:
+            return
+        entry, _ = trace.node(("copy", phase, shard, sender), self._now,
+                              parents=(parent,))
+        entry["attrs"].setdefault("seqs", []).append(seq)
+        self._seq_bindings[(shard, seq)] = (key, phase, sender)
+
+    def token_covered(self, seq, token_info, shard=0):
+        """A token origination vouched ``seq`` in its digest list."""
+        binding = self._seq_bindings.get((shard, seq))
+        if binding is None:
+            return
+        key, phase, sender = binding
+        trace = self._traces.get(key)
+        if trace is None:
+            return
+        visit = token_info["visit"]
+        entry, created = trace.node(("token", phase, shard, visit), self._now,
+                                    parents=(("copy", phase, shard, sender),))
+        if created:
+            entry["attrs"].update(token_info)
+            entry["attrs"]["seqs"] = []
+        entry["attrs"]["seqs"].append(seq)
+        bindings = self._visit_bindings.setdefault((shard, visit), [])
+        if (key, phase) not in bindings:
+            bindings.append((key, phase))
+
+    def certified(self, cert_info, shard=0):
+        """A :class:`TokenCertificate` vouched a span of token visits."""
+        node_key = ("cert", cert_info["signer"], shard, cert_info["first_visit"])
+        for visit in range(cert_info["first_visit"], cert_info["last_visit"] + 1):
+            for key, phase in self._visit_bindings.get((shard, visit), ()):
+                trace = self._traces.get(key)
+                if trace is None:
+                    continue
+                token_key = ("token", phase, shard, visit)
+                entry, created = trace.node(node_key, self._now,
+                                            parents=(token_key,))
+                if created:
+                    entry["attrs"].update(cert_info)
+                else:
+                    token_entry = trace.nodes.get(token_key)
+                    if token_entry is not None:
+                        trace.edge(token_entry["id"], entry["id"])
+
+    def retransmitted(self, seq, sender, shard=0):
+        """``seq`` was re-sent to service a retransmission request.
+
+        ``sender`` is the servicing token holder, which need not be the
+        originator — any processor that saw the message can resend it.
+        """
+        binding = self._seq_bindings.get((shard, seq))
+        if binding is None:
+            return
+        key, phase, origin = binding
+        trace = self._traces.get(key)
+        if trace is None:
+            return
+        entry, _ = trace.node(("retransmit", phase, shard, sender), self._now,
+                              parents=(("copy", phase, shard, origin),))
+        entry["attrs"]["count"] = entry["attrs"].get("count", 0) + 1
+
+    def delivered(self, seq, sender, covering_visit, shard=0):
+        """A processor committed ``seq`` in total order."""
+        binding = self._seq_bindings.get((shard, seq))
+        if binding is None:
+            return
+        key, phase, origin = binding
+        trace = self._traces.get(key)
+        if trace is None:
+            return
+        token_key = ("token", phase, shard, covering_visit)
+        if covering_visit is None or token_key not in trace.nodes:
+            parents = (("copy", phase, shard, origin),)
+        else:
+            parents = (token_key,)
+        entry, _ = trace.node(("delivered", phase, shard, sender), self._now,
+                              parents=parents)
+        entry["attrs"]["commits"] = entry["attrs"].get("commits", 0) + 1
+
+    def reassembled(self, seq, sender, shard=0):
+        """The last fragment of a split payload completed reassembly."""
+        binding = self._seq_bindings.get((shard, seq))
+        if binding is None:
+            return
+        key, phase, _ = binding
+        trace = self._traces.get(key)
+        if trace is None:
+            return
+        trace.node(("reassembled", phase, shard, sender), self._now,
+                   parents=(("delivered", phase, shard, sender),))
+
+    # ------------------------------------------------------------------
+    # voting / gateway hooks
+    # ------------------------------------------------------------------
+
+    def vote_copy(self, key, phase, sender, shard=0):
+        """A voter tallied one replica's copy."""
+        trace = self._ensure(key)
+        if trace is None:
+            return
+        trace.node(("vote_copy", phase, shard, sender), self._now,
+                   parents=(("copy", phase, shard, sender),))
+
+    def vote_decided(self, key, phase, shard=0):
+        """A majority vote decided — the merge node of the copy fan-in."""
+        trace = self._ensure(key)
+        if trace is None:
+            return
+        parents = tuple(
+            node_key for node_key in trace.nodes
+            if node_key[0] == "vote_copy"
+            and node_key[1] == phase
+            and node_key[2] == shard
+        )
+        entry, created = trace.node(("vote_decided", phase, shard), self._now,
+                                    parents=parents)
+        if not created:
+            # Sibling replicas decide the same vote later; link any
+            # vote_copy nodes that arrived since the first decision.
+            for node_key in parents:
+                trace.edge(trace.nodes[node_key]["id"], entry["id"])
+
+    def gateway_forwarded(self, key, phase, via, from_ring, to_ring,
+                          corrupt, shard=0):
+        """A gateway replica re-originated the voted winner cross-ring."""
+        trace = self._ensure(key)
+        if trace is None:
+            return
+        entry, created = trace.node(("gw_forward", phase, via), self._now,
+                                    parents=(("vote_decided", phase, shard),))
+        if created:
+            entry["attrs"]["from_ring"] = from_ring
+            entry["attrs"]["to_ring"] = to_ring
+            entry["attrs"]["corrupt"] = bool(corrupt)
+
+    # ------------------------------------------------------------------
+    # assembly / export
+    # ------------------------------------------------------------------
+
+    def assemble(self, timeline=(), cost_model=None, shard_of_group=None):
+        """Assemble every sampled trace into export-ready dicts.
+
+        Timing edges between consecutive stage nodes carry the exact
+        :func:`attribute_span` cause rows for the later stage, computed
+        from the trace's own stage times — summing them per cause
+        reproduces the critpath decomposition by construction.
+        """
+        evidence = _TokenEvidence(timeline)
+        records = []
+        for trace in self._traces.values():
+            records.append(
+                self._assemble_one(trace, evidence, cost_model, shard_of_group)
+            )
+        return records
+
+    def _assemble_one(self, trace, evidence, cost_model, shard_of_group):
+        span = trace.pseudo_span()
+        shard = (
+            None if shard_of_group is None
+            else shard_of_group.get(trace.key[0])
+        )
+        rows = attribute_span(span, evidence, cost_model=cost_model, shard=shard)
+        per_stage = {}
+        cause_seconds = {}
+        for stage, cause, seconds in rows:
+            per_stage.setdefault(stage, []).append([cause, seconds])
+            cause_seconds[cause] = cause_seconds.get(cause, 0.0) + seconds
+
+        edges = [edge + ["causal"] for edge in trace.edges]
+        previous = None
+        for stage in SPAN_STAGES:
+            entry = trace.nodes.get(("stage", stage))
+            if entry is None:
+                continue
+            if previous is not None:
+                edges.append(
+                    [previous, entry["id"], "timing", per_stage.get(stage, [])]
+                )
+            previous = entry["id"]
+
+        nodes = [
+            {
+                "id": entry["id"],
+                "node": list(node_key),
+                "time": entry["time"],
+                "attrs": {name: entry["attrs"][name]
+                          for name in sorted(entry["attrs"])},
+            }
+            for node_key, entry in trace.nodes.items()
+        ]
+        nodes.sort(key=lambda item: item["id"])
+        return {
+            "trace_id": trace.trace_id,
+            "key": list(trace.key),
+            "oneway": trace.oneway,
+            "closed": span.closed,
+            "end_to_end": span.end_to_end(),
+            "nodes": nodes,
+            "edges": edges,
+            "cause_seconds": {
+                cause: cause_seconds[cause] for cause in sorted(cause_seconds)
+            },
+        }
+
+    def summary(self, records):
+        closed = [r for r in records if r["closed"]]
+        return {
+            "traces": len(records),
+            "closed": len(closed),
+            "sampled": self.sampled,
+            "dropped": self.dropped,
+            "sample_every": self.sample_every,
+            "exemplars": tail_exemplars(records),
+        }
+
+
+# ----------------------------------------------------------------------
+# cross-validation against the critpath decomposition
+# ----------------------------------------------------------------------
+
+def verify_against_critpath(collector, spans, timeline,
+                            cost_model=None, shard_of_group=None):
+    """Exact agreement between every sampled trace and the span tracker.
+
+    For each sampled invocation the trace's stage-node times must equal
+    the real span's marks, and the :func:`attribute_span` rows computed
+    from each must be identical — which makes every per-cause sum over
+    the DAG's timing edges equal the critpath decomposition exactly.
+    Returns a list of mismatch dicts (empty means verified).
+    """
+    evidence = _TokenEvidence(timeline)
+    mismatches = []
+    for trace in collector.traces():
+        real = spans.get(trace.key)
+        if real is None:
+            mismatches.append({"key": list(trace.key), "reason": "no span"})
+            continue
+        pseudo = trace.pseudo_span()
+        if pseudo.marks != real.marks:
+            mismatches.append({
+                "key": list(trace.key),
+                "reason": "stage times diverge",
+                "trace_marks": pseudo.marks,
+                "span_marks": real.marks,
+            })
+            continue
+        shard = (
+            None if shard_of_group is None
+            else shard_of_group.get(trace.key[0])
+        )
+        expected = attribute_span(real, evidence, cost_model=cost_model,
+                                  shard=shard)
+        actual = attribute_span(pseudo, evidence, cost_model=cost_model,
+                                shard=shard)
+        if actual != expected:
+            mismatches.append({
+                "key": list(trace.key),
+                "reason": "cause rows diverge",
+                "expected": expected,
+                "actual": actual,
+            })
+    return mismatches
+
+
+# ----------------------------------------------------------------------
+# fork / merge structure queries
+# ----------------------------------------------------------------------
+
+def fork_summary(record):
+    """The gateway fork/merge shape of one assembled trace record.
+
+    Returns ``{"fork_width", "merged", "corrupt_branches"}`` where
+    ``fork_width`` is the largest set of ``gw_forward`` request nodes
+    sharing one parent (the source ring's voted decision) and
+    ``merged`` reports a later ``vote_decided`` node with at least two
+    tallied copies — the voted merge that masks a Byzantine branch.
+    """
+    incoming = {}
+    for edge in record["edges"]:
+        if edge[2] == "causal":
+            incoming.setdefault(edge[1], []).append(edge[0])
+    forwards = [
+        node for node in record["nodes"]
+        if node["node"][0] == "gw_forward" and node["node"][1] == PHASE_REQUEST
+    ]
+    by_parent = {}
+    for node in forwards:
+        for parent in incoming.get(node["id"], [None]):
+            by_parent.setdefault(parent, []).append(node["id"])
+    fork_width = max((len(ids) for ids in by_parent.values()), default=0)
+    fork_time = min((node["time"] for node in forwards), default=None)
+    merged = False
+    if fork_time is not None:
+        for node in record["nodes"]:
+            if (
+                node["node"][0] == "vote_decided"
+                and node["node"][1] == PHASE_REQUEST
+                and node["time"] > fork_time
+                and len(incoming.get(node["id"], [])) >= 2
+            ):
+                merged = True
+                break
+    return {
+        "fork_width": fork_width,
+        "merged": merged,
+        "corrupt_branches": sum(
+            1 for node in forwards if node["attrs"].get("corrupt")
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# exemplars
+# ----------------------------------------------------------------------
+
+def tail_exemplars(records, limit=5):
+    """The slowest closed invocations, with their dominant cause."""
+    closed = [r for r in records if r["closed"]]
+    closed.sort(key=lambda r: (-r["end_to_end"], r["trace_id"]))
+    out = []
+    for record in closed[:limit]:
+        causes = sorted(
+            record["cause_seconds"].items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        out.append({
+            "key": record["key"],
+            "trace_id": record["trace_id"],
+            "end_to_end": record["end_to_end"],
+            "top_cause": causes[0][0] if causes else None,
+            "top_cause_seconds": causes[0][1] if causes else 0.0,
+        })
+    return out
+
+
+# ----------------------------------------------------------------------
+# JSONL export
+# ----------------------------------------------------------------------
+
+def export_traces(path, records, summary, run_info):
+    """Write the deterministic trace JSONL artefact."""
+    with open(path, "w") as handle:
+        handle.write(json.dumps(
+            {"record": "trace_run", **run_info}, sort_keys=True) + "\n")
+        for record in records:
+            handle.write(json.dumps(
+                {"record": "trace", **record}, sort_keys=True) + "\n")
+        handle.write(json.dumps(
+            {"record": "trace_summary", **summary}, sort_keys=True) + "\n")
+
+
+class TraceInputError(Exception):
+    """A trace JSONL artefact that cannot be rendered."""
+
+
+def load_traces(path):
+    """Read an exported artefact back into (records, summary, run_info)."""
+    records = []
+    summary = None
+    run_info = {}
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                except ValueError as exc:
+                    raise TraceInputError(
+                        "cannot parse JSONL input %s: %s" % (path, exc))
+                kind = data.pop("record", None)
+                if kind == "trace":
+                    records.append(data)
+                elif kind == "trace_summary":
+                    summary = data
+                elif kind == "trace_run":
+                    run_info = data
+    except OSError as exc:
+        raise TraceInputError("cannot read JSONL input %s: %s" % (path, exc))
+    if not records:
+        raise TraceInputError(
+            "JSONL input %s has no trace records — run "
+            "`python -m repro.obs.trace --out %s` to produce one" % (path, path))
+    return records, summary, run_info
+
+
+# ----------------------------------------------------------------------
+# rendering
+# ----------------------------------------------------------------------
+
+_NODE_LABELS = {
+    "stage": lambda nk: "stage %s" % nk[1],
+    "copy": lambda nk: "copy %s ring%d from P%d" % (nk[1], nk[2], nk[3]),
+    "fragment": lambda nk: "fragment %s ring%d at P%d" % (nk[1], nk[2], nk[3]),
+    "token": lambda nk: "token %s ring%d visit %d" % (nk[1], nk[2], nk[3]),
+    "cert": lambda nk: "cert by P%d ring%d span@%d" % (nk[1], nk[2], nk[3]),
+    "retransmit": lambda nk: "retransmit %s ring%d by P%d"
+                             % (nk[1], nk[2], nk[3]),
+    "delivered": lambda nk: "delivered %s ring%d from P%d"
+                            % (nk[1], nk[2], nk[3]),
+    "reassembled": lambda nk: "reassembled %s ring%d from P%d"
+                              % (nk[1], nk[2], nk[3]),
+    "vote_copy": lambda nk: "vote_copy %s ring%d from P%d"
+                            % (nk[1], nk[2], nk[3]),
+    "vote_decided": lambda nk: "vote_decided %s ring%d" % (nk[1], nk[2]),
+    "gw_forward": lambda nk: "gw_forward %s via P%d" % (nk[1], nk[2]),
+}
+
+
+def _node_label(node):
+    node_key = tuple(node["node"])
+    label = _NODE_LABELS.get(node_key[0])
+    text = label(node_key) if label is not None else repr(node_key)
+    attrs = node["attrs"]
+    details = []
+    for name in ("seqs", "fragments", "count", "commits", "corrupt",
+                 "from_ring", "to_ring", "holder", "token_seq", "signer",
+                 "last_visit"):
+        if name in attrs:
+            details.append("%s=%s" % (name, attrs[name]))
+    if details:
+        text += "  [%s]" % ", ".join(details)
+    return text
+
+
+def render_trace_tree(record):
+    """ASCII tree of one invocation's causal DAG.
+
+    Nodes with several parents render once and are referenced as
+    ``(^N)`` afterwards; timing edges annotate the stage backbone with
+    their cause rows.
+    """
+    nodes = {node["id"]: node for node in record["nodes"]}
+    children = {}
+    incoming = set()
+    for edge in record["edges"]:
+        children.setdefault(edge[0], []).append(edge)
+        if edge[2] == "causal":
+            incoming.add(edge[1])
+        else:
+            # Timing edges ride the stage backbone; only treat them as
+            # tree edges when no causal parent exists.
+            incoming.add(edge[1])
+    roots = [nid for nid in sorted(nodes) if nid not in incoming]
+    lines = [
+        "trace %s  %s:%s  %s  e2e=%s" % (
+            record["trace_id"],
+            record["key"][0], record["key"][1],
+            "closed" if record["closed"] else "open",
+            _fmt_seconds(record["end_to_end"]),
+        )
+    ]
+    seen = set()
+
+    def annotate(edge):
+        if edge[2] != "timing":
+            return ""
+        causes = ", ".join(
+            "%s %s" % (cause, _fmt_seconds(seconds))
+            for cause, seconds in edge[3]
+        )
+        return " <- [%s]" % causes if causes else ""
+
+    def walk(nid, prefix, is_last, note):
+        node = nodes[nid]
+        connector = "`-" if is_last else "|-"
+        if nid in seen:
+            lines.append("%s%s (^%d)%s" % (prefix, connector, nid, note))
+            return
+        seen.add(nid)
+        lines.append(
+            "%s%s #%d %s @%.6f%s"
+            % (prefix, connector, nid, _node_label(node), node["time"], note)
+        )
+        kids = sorted(
+            children.get(nid, []),
+            key=lambda edge: (nodes[edge[1]]["time"], edge[1]),
+        )
+        extension = "   " if is_last else "|  "
+        for index, edge in enumerate(kids):
+            walk(edge[1], prefix + extension,
+                 index == len(kids) - 1, annotate(edge))
+
+    for index, nid in enumerate(roots):
+        walk(nid, "", index == len(roots) - 1, "")
+    return "\n".join(lines)
+
+
+def render_waterfall(record):
+    """Stage waterfall of one invocation, with per-stage cause rows."""
+    stages = [
+        (node["node"][1], node["time"])
+        for node in record["nodes"] if node["node"][0] == "stage"
+    ]
+    order = {stage: i for i, stage in enumerate(SPAN_STAGES)}
+    stages.sort(key=lambda item: order[item[0]])
+    timing = {}
+    for edge in record["edges"]:
+        if edge[2] == "timing":
+            timing[edge[1]] = edge[3]
+    stage_ids = {
+        node["node"][1]: node["id"]
+        for node in record["nodes"] if node["node"][0] == "stage"
+    }
+    lines = ["waterfall %s:%s" % (record["key"][0], record["key"][1])]
+    start = stages[0][1] if stages else 0.0
+    total = record["end_to_end"] or 1.0
+    previous = None
+    for stage, time in stages:
+        delta = 0.0 if previous is None else time - previous
+        offset = int((time - start) / total * 40) if total else 0
+        width = max(1, int(delta / total * 40)) if delta else 1
+        bar = " " * offset + "#" * width
+        causes = ", ".join(
+            "%s %s" % (cause, _fmt_seconds(seconds))
+            for cause, seconds in timing.get(stage_ids[stage], [])
+        )
+        lines.append(
+            "  %-24s +%-10s |%-41s| %s"
+            % (stage, _fmt_seconds(delta), bar, causes)
+        )
+        previous = time
+    return "\n".join(lines)
+
+
+def render_digest(summary):
+    """Tail-latency exemplar digest from a trace summary."""
+    lines = [
+        "== Trace digest %s" % ("=" * 46),
+        "  %d trace(s) assembled, %d closed; sampled=%d dropped=%d "
+        "(1 in %d)" % (
+            summary["traces"], summary["closed"], summary["sampled"],
+            summary["dropped"], summary["sample_every"],
+        ),
+    ]
+    exemplars = summary["exemplars"]
+    if exemplars:
+        lines.append("  tail-latency exemplars:")
+        for row in exemplars:
+            lines.append(
+                "    %-20s %s  e2e=%-10s top=%s (%s)"
+                % (
+                    "%s:%s" % (row["key"][0], row["key"][1]),
+                    row["trace_id"],
+                    _fmt_seconds(row["end_to_end"]),
+                    row["top_cause"],
+                    _fmt_seconds(row["top_cause_seconds"]),
+                )
+            )
+    else:
+        lines.append("  (no closed traces)")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# workloads
+# ----------------------------------------------------------------------
+
+def run_figure7_workload(seed=11, operations=12, sample_every=1):
+    """The instrumented single-ring Figure-7 echo workload with tracing.
+
+    Returns ``(collector, obs, timeline, cost_model, shard_of_group,
+    run_info)``; ``shard_of_group`` is None (one ring).
+    """
+    from repro.bench.latency import ECHO_IDL, EchoServant
+    from repro.core.config import ImmuneConfig, SurvivabilityCase
+    from repro.core.immune import ImmuneSystem
+    from repro.obs import Observability
+    from repro.obs.forensics import ForensicsHub, merge_timeline
+    from repro.sim.faults import FaultPlan, LinkFaults
+
+    collector = TraceCollector(sample_every=sample_every)
+    obs = Observability(forensics=ForensicsHub(), trace=collector)
+    config = ImmuneConfig(case=SurvivabilityCase.FULL_SURVIVABILITY, seed=seed)
+    plan = FaultPlan(
+        default=LinkFaults(loss_prob=0.05), active_from=0.3, active_until=0.6
+    )
+    immune = ImmuneSystem(
+        num_processors=6, config=config, fault_plan=plan,
+        trace_kinds=frozenset(), obs=obs,
+    )
+    server = immune.deploy("echo", ECHO_IDL, lambda pid: EchoServant(), [0, 1, 2])
+    client = immune.deploy_client("driver", [3, 4, 5])
+    immune.start()
+    stubs = immune.client_stubs(client, ECHO_IDL, server)
+    replies = []
+
+    for k in range(operations):
+        def fire(k=k):
+            for pid, stub in stubs:
+                if not immune.processors[pid].crashed:
+                    stub.echo(k, reply_to=replies.append)
+        immune.scheduler.at(0.1 + k * 0.05, fire, label="trace.workload")
+    immune.run(until=0.1 + operations * 0.05 + 2.0)
+
+    timeline = merge_timeline(obs.forensics)
+    run_info = {
+        "workload": "figure7",
+        "seed": seed,
+        "operations": operations,
+        "sample_every": sample_every,
+        "replies": len(replies),
+        "simulated_seconds": immune.scheduler.now,
+    }
+    return collector, obs, timeline, immune.config.crypto_costs, None, run_info
+
+
+def run_cluster_workload(seed=11, operations=6, sample_every=1):
+    """Two rings, a corrupt gateway replica, cross-ring counter traffic.
+
+    The Byzantine-gateway drill for tracing: every request forks into
+    three ``gw_forward`` branches on the source ring (one corrupt) and
+    merges at the destination ring's vote.
+    """
+    from repro.bench.cluster import COUNTER_IDL, _CountingServant
+    from repro.cluster import ClusterConfig, ClusterManager
+    from repro.core.config import SurvivabilityCase
+    from repro.obs import Observability
+    from repro.obs.forensics import ForensicsHub, merge_timeline
+
+    collector = TraceCollector(sample_every=sample_every)
+    obs = Observability(forensics=ForensicsHub(), trace=collector)
+    config = ClusterConfig(
+        num_rings=2, case=SurvivabilityCase.FULL_SURVIVABILITY, seed=seed
+    )
+    cluster = ClusterManager(config, obs=obs)
+    server = cluster.deploy(
+        "counter", COUNTER_IDL, lambda pid: _CountingServant(), ring=1
+    )
+    client = cluster.deploy_client("driver", ring=0)
+    cluster.corrupt_gateway(0, 1, index=0)
+    cluster.start()
+    stubs = cluster.client_stubs(client, COUNTER_IDL, server)
+    replies = []
+
+    for k in range(operations):
+        def fire():
+            for pid, stub in stubs:
+                stub.add(1, reply_to=replies.append)
+        cluster.scheduler.at(0.1 + k * 0.25, fire, label="trace.workload")
+    cluster.run(until=0.1 + operations * 0.25 + 1.5)
+
+    shard_of_group = {
+        group: cluster.directory.home_ring(group)
+        for group in cluster.directory.groups()
+    }
+    timeline = merge_timeline(obs.forensics)
+    cost_model = cluster.rings[0].config.crypto_costs
+    run_info = {
+        "workload": "cluster",
+        "seed": seed,
+        "operations": operations,
+        "sample_every": sample_every,
+        "replies": len(replies),
+        "simulated_seconds": cluster.scheduler.now,
+    }
+    return collector, obs, timeline, cost_model, shard_of_group, run_info
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.trace",
+        description="Per-invocation causal trace DAGs across rings, "
+                    "gateways, and token rotations.",
+    )
+    parser.add_argument("--workload", choices=("figure7", "cluster"),
+                        default="figure7")
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--operations", type=int, default=None,
+                        help="invocations to fire (workload default)")
+    parser.add_argument("--sample", type=int, default=1, metavar="N",
+                        help="keep 1 trace in N (deterministic hash)")
+    parser.add_argument("--out", default=None,
+                        help="write the trace JSONL artefact here")
+    parser.add_argument("--input", default=None,
+                        help="render an existing artefact instead of running")
+    parser.add_argument("--show", default=None, metavar="GROUP:OP",
+                        help="render the tree + waterfall of one invocation")
+    parser.add_argument("--verify", action="store_true",
+                        help="assert exact trace-vs-critpath agreement")
+    parser.add_argument("--assert-fork", type=int, default=None, metavar="N",
+                        help="require an N-way gateway fork with voted merge")
+    args = parser.parse_args(argv)
+
+    if args.input is not None:
+        try:
+            records, summary, run_info = load_traces(args.input)
+        except TraceInputError as exc:
+            print("error: %s" % exc, file=sys.stderr)
+            return 2
+        if args.verify:
+            print("error: --verify needs a live run, not --input",
+                  file=sys.stderr)
+            return 2
+    else:
+        runner = (
+            run_cluster_workload if args.workload == "cluster"
+            else run_figure7_workload
+        )
+        kwargs = {"seed": args.seed, "sample_every": args.sample}
+        if args.operations is not None:
+            kwargs["operations"] = args.operations
+        collector, obs, timeline, cost_model, shard_of_group, run_info = (
+            runner(**kwargs)
+        )
+        records = collector.assemble(
+            timeline, cost_model=cost_model, shard_of_group=shard_of_group
+        )
+        summary = collector.summary(records)
+        if args.verify:
+            mismatches = verify_against_critpath(
+                collector, obs.spans, timeline,
+                cost_model=cost_model, shard_of_group=shard_of_group,
+            )
+            if mismatches:
+                print("error: %d trace(s) diverge from the critpath "
+                      "decomposition:" % len(mismatches),
+                      file=sys.stderr)
+                for mismatch in mismatches[:5]:
+                    print("  %s: %s" % (mismatch["key"], mismatch["reason"]),
+                          file=sys.stderr)
+                return 1
+            print("verified: %d trace(s) agree with the critpath "
+                  "decomposition exactly" % len(records))
+        if args.out is not None:
+            export_traces(args.out, records, summary, run_info)
+
+    if args.assert_fork is not None:
+        best = {"fork_width": 0, "merged": False}
+        for record in records:
+            shape = fork_summary(record)
+            if shape["fork_width"] > best["fork_width"] or (
+                shape["fork_width"] == best["fork_width"] and shape["merged"]
+            ):
+                best = shape
+        if best["fork_width"] < args.assert_fork or not best["merged"]:
+            print("error: expected a %d-way gateway fork with voted merge, "
+                  "best seen %r" % (args.assert_fork, best),
+                  file=sys.stderr)
+            return 1
+        print("gateway fork: %d branches (%d corrupt), voted merge present"
+              % (best["fork_width"], best["corrupt_branches"]))
+
+    shown = None
+    if args.show is not None:
+        group, _, op = args.show.partition(":")
+        wanted = [group, int(op)]
+        shown = next((r for r in records if r["key"] == wanted), None)
+        if shown is None:
+            print("error: no trace for %s (sampled? closed?)" % args.show,
+                  file=sys.stderr)
+            return 2
+    elif records:
+        closed = [r for r in records if r["closed"]]
+        shown = max(
+            closed or records,
+            key=lambda r: (r["end_to_end"], r["trace_id"]),
+        )
+
+    if shown is not None:
+        print(render_trace_tree(shown))
+        print()
+        print(render_waterfall(shown))
+        print()
+    print(render_digest(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -103,7 +103,15 @@ def load_replay(path):
             "series sampling (e.g. --slo)" % path
         )
     alerts.sort(key=lambda a: (a["fired_at"], a["slo"], a["severity"]))
-    return ReplaySampler(series_list, period or 0.0), alerts, run_info
+    sampler = ReplaySampler(series_list, period or 0.0)
+    if not sampler.times:
+        # Series records with zero sample points would "replay" zero
+        # frames and exit clean — surface the broken export instead.
+        raise WatchInputError(
+            "JSONL input %s has series records but no sample points — "
+            "the export is empty; re-run the report" % path
+        )
+    return sampler, alerts, run_info
 
 
 def _alert_board(alerts, now):

@@ -126,3 +126,28 @@ def test_watch_cli_rejects_artefact_without_series(tmp_path, capsys):
     path.write_text(json.dumps({"record": "run", "seed": 1}) + "\n")
     assert watch_main(["--replay", str(path), "--plain"]) == 2
     assert "no series records" in capsys.readouterr().err
+
+
+def test_watch_cli_rejects_series_without_sample_points(tmp_path, capsys):
+    # Series records exist but carry zero points: replaying would show
+    # nothing and previously exited 0 after "replayed 0 frame(s)".
+    path = tmp_path / "pointless.jsonl"
+    records = [
+        {"record": "run", "seed": 1},
+        {"record": "series", "period": 0.05, "name": "span.opened",
+         "kind": "gauge", "labels": {}, "dropped": 0, "points": []},
+        {"record": "summary"},
+    ]
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    assert watch_main(["--replay", str(path), "--plain"]) == 2
+    assert "no sample points" in capsys.readouterr().err
+
+
+def test_report_cli_rejects_summary_only_artefact(tmp_path, capsys):
+    from repro.obs.report import main as report_main
+
+    path = tmp_path / "hollow.jsonl"
+    records = [{"record": "run", "seed": 1}, {"record": "summary"}]
+    path.write_text("".join(json.dumps(r) + "\n" for r in records))
+    assert report_main(["--input", str(path)]) == 2
+    assert "no series or span records" in capsys.readouterr().err

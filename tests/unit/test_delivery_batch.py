@@ -233,7 +233,7 @@ def test_large_payload_fragments_and_reassembles():
     queued = list(h.protocol._send_queue)
     assert len(queued) == 8
     frag_msgs = []
-    for seq, (group, chunk, frag) in enumerate(queued, start=1):
+    for seq, (group, chunk, frag, _ctx) in enumerate(queued, start=1):
         frag_id, frag_index, frag_total = frag
         assert frag_total == 8 and frag_index == seq - 1
         msg = MessageFragment(1, 1, seq, group, frag_id, frag_index, frag_total, chunk)

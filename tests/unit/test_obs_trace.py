@@ -1,0 +1,222 @@
+"""Unit tests for the causal trace collector (:mod:`repro.obs.trace`)."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    TraceCollector,
+    TraceInputError,
+    export_traces,
+    fork_summary,
+    load_traces,
+    render_digest,
+    render_trace_tree,
+    render_waterfall,
+    tail_exemplars,
+    trace_id_for,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def tick(self, dt=0.001):
+        self.now += dt
+        return self.now
+
+
+def collector(sample_every=1, registry=None):
+    c = TraceCollector(registry=registry, sample_every=sample_every)
+    clock = FakeClock()
+    c.bind(clock)
+    return c, clock
+
+
+REQ_STAGES = ("intercepted", "multicast_queued", "ordered", "voted",
+              "dispatched", "executed", "reply_ordered", "reply_voted")
+
+
+def closed_trace(c, clock, key=("driver", 1)):
+    """Walk one invocation through the stage backbone plus ring nodes."""
+    c.begin(key)
+    payload = b"payload-%r" % (key,)
+    c.register_payload(payload, key, "req", ("stage", "multicast_queued"))
+    for stage in REQ_STAGES[:2]:
+        c.mark_stage(key, stage)
+        clock.tick()
+    ctx = c.context_for(payload)
+    assert ctx == (key, "req", ("stage", "multicast_queued"))
+    c.copy_sent(ctx, sender=3, seq=7)
+    clock.tick()
+    c.token_covered(7, {"holder": 0, "visit": 2, "token_seq": 7})
+    c.certified({"signer": 0, "first_visit": 1, "last_visit": 2, "count": 2})
+    c.delivered(7, sender=3, covering_visit=2)
+    for stage in REQ_STAGES[2:]:
+        c.mark_stage(key, stage)
+        clock.tick()
+    c.vote_copy(key, "req", sender=3)
+    c.vote_decided(key, "req")
+    return key
+
+
+def test_trace_id_is_deterministic_and_short():
+    assert trace_id_for(("driver", 1)) == trace_id_for(("driver", 1))
+    assert trace_id_for(("driver", 1)) != trace_id_for(("driver", 2))
+    assert len(trace_id_for(("driver", 1))) == 16
+    assert int(trace_id_for(("driver", 1)), 16) >= 0
+
+
+def test_sample_every_one_keeps_everything():
+    c, _ = collector(sample_every=1)
+    for op in range(20):
+        assert c.is_sampled(("g", op))
+    assert c.sampled == 20 and c.dropped == 0
+
+
+def test_sampling_is_deterministic_and_counts_drops():
+    registry = MetricsRegistry()
+    c, _ = collector(sample_every=4, registry=registry)
+    keys = [("g", op) for op in range(64)]
+    decisions = [c.is_sampled(k) for k in keys]
+    assert any(decisions) and not all(decisions)
+    assert c.sampled == sum(decisions)
+    assert c.dropped == len(decisions) - sum(decisions)
+    assert registry.value("trace.sampled") == c.sampled
+    assert registry.value("trace.dropped") == c.dropped
+    # same decisions from a fresh collector: hash-based, not stateful
+    c2, _ = collector(sample_every=4)
+    assert [c2.is_sampled(k) for k in keys] == decisions
+
+
+def test_unsampled_keys_record_nothing():
+    c, clock = collector(sample_every=2)
+    dropped_key = next(
+        ("g", op) for op in range(64) if not c.is_sampled(("g", op))
+    )
+    c.begin(dropped_key)
+    c.mark_stage(dropped_key, "intercepted")
+    c.register_payload(b"x", dropped_key, "req", ("stage", "intercepted"))
+    assert c.get(dropped_key) is None
+    assert c.context_for(b"x") is None
+
+
+def test_invalid_sample_every_rejected():
+    with pytest.raises(ValueError):
+        TraceCollector(sample_every=0)
+
+
+def test_first_stage_mark_wins():
+    c, clock = collector()
+    key = ("driver", 1)
+    c.begin(key)
+    c.mark_stage(key, "intercepted")
+    first_time = c.get(key).nodes[("stage", "intercepted")]["time"]
+    clock.tick()
+    c.mark_stage(key, "intercepted")
+    assert c.get(key).nodes[("stage", "intercepted")]["time"] == first_time
+
+
+def test_assembled_record_closes_and_connects():
+    c, clock = collector()
+    key = closed_trace(c, clock)
+    (record,) = c.assemble()
+    assert record["closed"] is True
+    assert record["key"] == list(key)
+    assert record["end_to_end"] == pytest.approx(0.008)
+    kinds = {tuple(node["node"])[0] for node in record["nodes"]}
+    assert {"stage", "copy", "token", "cert", "delivered",
+            "vote_copy", "vote_decided"} <= kinds
+    causal = [e for e in record["edges"] if e[2] == "causal"]
+    timing = [e for e in record["edges"] if e[2] == "timing"]
+    assert causal and len(timing) == len(REQ_STAGES) - 1
+    # every node except the roots has an incoming causal edge or is a stage
+    ids_with_parent = {e[1] for e in causal}
+    for node in record["nodes"]:
+        if node["node"][0] != "stage":
+            assert node["id"] in ids_with_parent or node["node"][0] == "stage"
+    # per-cause sums in the record equal the timing-edge row sums
+    from_edges = {}
+    for edge in timing:
+        for cause, seconds in edge[3]:
+            from_edges[cause] = from_edges.get(cause, 0.0) + seconds
+    assert from_edges == record["cause_seconds"]
+    assert sum(record["cause_seconds"].values()) == pytest.approx(
+        record["end_to_end"]
+    )
+
+
+def test_retransmission_nodes_count_attempts():
+    c, clock = collector()
+    key = ("driver", 9)
+    c.begin(key)
+    c.register_payload(b"p", key, "req", ("stage", "multicast_queued"))
+    c.mark_stage(key, "multicast_queued")
+    c.copy_sent(c.context_for(b"p"), sender=4, seq=11)
+    c.retransmitted(11, sender=4)
+    c.retransmitted(11, sender=0)  # another holder services the request
+    c.retransmitted(11, sender=4)
+    trace = c.get(key)
+    assert trace.nodes[("retransmit", "req", 0, 4)]["attrs"]["count"] == 2
+    assert trace.nodes[("retransmit", "req", 0, 0)]["attrs"]["count"] == 1
+
+
+def test_fork_summary_sees_three_branches_and_merge():
+    c, clock = collector()
+    key = ("driver", 2)
+    c.begin(key)
+    c.mark_stage(key, "intercepted")
+    c.vote_copy(key, "req", sender=3, shard=0)
+    c.vote_decided(key, "req", shard=0)
+    clock.tick()
+    for via, corrupt in ((9, True), (10, False), (11, False)):
+        c.gateway_forwarded(key, "req", via, from_ring=0, to_ring=1,
+                            corrupt=corrupt, shard=0)
+    clock.tick()
+    for sender in (9, 10, 11):
+        c.vote_copy(key, "req", sender=sender, shard=1)
+    c.vote_decided(key, "req", shard=1)
+    (record,) = c.assemble()
+    shape = fork_summary(record)
+    assert shape == {"fork_width": 3, "merged": True, "corrupt_branches": 1}
+
+
+def test_summary_and_exemplars():
+    c, clock = collector()
+    closed_trace(c, clock, key=("driver", 1))
+    closed_trace(c, clock, key=("driver", 2))
+    records = c.assemble()
+    summary = c.summary(records)
+    assert summary["traces"] == 2 and summary["closed"] == 2
+    assert summary["sampled"] == 2 and summary["dropped"] == 0
+    exemplars = tail_exemplars(records, limit=1)
+    assert len(exemplars) == 1
+    assert exemplars[0]["top_cause"] is not None
+
+
+def test_export_roundtrip_and_render_smoke(tmp_path):
+    c, clock = collector()
+    closed_trace(c, clock)
+    records = c.assemble()
+    summary = c.summary(records)
+    path = tmp_path / "traces.jsonl"
+    export_traces(str(path), records, summary, {"workload": "unit"})
+    loaded, loaded_summary, run_info = load_traces(str(path))
+    assert loaded == records  # JSON round-trips listify tuples already
+    assert loaded_summary["traces"] == 1
+    assert run_info["workload"] == "unit"
+    tree = render_trace_tree(loaded[0])
+    assert "stage intercepted" in tree and "vote_decided" in tree
+    waterfall = render_waterfall(loaded[0])
+    assert "reply_voted" in waterfall
+    digest = render_digest(loaded_summary)
+    assert "1 trace" in digest or "traces" in digest
+
+
+def test_load_traces_rejects_missing_and_empty(tmp_path):
+    with pytest.raises(TraceInputError):
+        load_traces(str(tmp_path / "absent.jsonl"))
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text('{"record": "trace_run"}\n')
+    with pytest.raises(TraceInputError, match="no trace records"):
+        load_traces(str(empty))
