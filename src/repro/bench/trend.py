@@ -16,7 +16,10 @@ Per-PR headline figures are extracted by the ``bench`` field of each
 report (``pr2-hot-path-overhaul`` → wall-clock speedup,
 ``cluster-scaling`` → 2-ring/4-ring aggregate-throughput scaling,
 ``pr7-batch-signature-pipeline`` → simulated throughput ratio) so the
-trend survives unrelated schema growth inside the artefacts.  The
+trend survives unrelated schema growth inside the artefacts; any
+artefact without a registered extractor contributes its own
+self-describing ``headline`` rows (``repro.bench.wan`` writes them), so
+future benches appear here without touching this module.  The
 output ``BENCH_trend.json`` is deterministic: rows sort by source
 filename and the JSON is dumped with sorted keys, so re-running on the
 same artefacts is byte-identical.
@@ -69,8 +72,36 @@ def _rows_pr7(report):
     ]
 
 
-#: ``bench`` field -> row extractor; unrecognised artefacts are listed
-#: but contribute no headline rows (the trend degrades, never crashes)
+def _rows_headline(report):
+    """The generic fallback: any artefact may carry its own ``headline``
+    list of ``{metric, value, unit, gate, ok}`` rows (``repro.bench.wan``
+    does), so future benches join the trend without a code change here.
+    Malformed rows are skipped rather than crashing the aggregate."""
+    rows = []
+    for row in report.get("headline", ()):
+        if not isinstance(row, dict):
+            continue
+        metric, value = row.get("metric"), row.get("value")
+        if not isinstance(metric, str) or not isinstance(value, (int, float)):
+            continue
+        gate = row.get("gate")
+        if isinstance(gate, bool) or not isinstance(gate, (int, float, str)):
+            gate = None
+        rows.append(
+            {
+                "metric": metric,
+                "value": value,
+                "unit": str(row.get("unit", "")),
+                "gate": gate,
+                "ok": bool(row.get("ok")),
+            }
+        )
+    return rows
+
+
+#: ``bench`` field -> row extractor; artefacts without one fall back to
+#: their self-describing ``headline`` rows, and an artefact with neither
+#: is listed but contributes no rows (the trend degrades, never crashes)
 _EXTRACTORS = {
     "pr2-hot-path-overhaul": _rows_pr2,
     "cluster-scaling": _rows_cluster,
@@ -101,12 +132,12 @@ def collect(directory):
         except (OSError, ValueError) as exc:
             raise TrendInputError("cannot read %s: %s" % (name, exc))
         bench = report.get("bench")
-        extractor = _EXTRACTORS.get(bench)
+        extractor = _EXTRACTORS.get(bench, _rows_headline)
         entries.append(
             {
                 "file": name,
                 "bench": bench,
-                "rows": extractor(report) if extractor is not None else [],
+                "rows": extractor(report),
             }
         )
     return entries
@@ -128,7 +159,13 @@ def render_table(entries):
             )
             continue
         for row in entry["rows"]:
-            gate = "-" if row["gate"] is None else ">=%.2f" % row["gate"]
+            # Registered extractors report numeric minimums; headline
+            # rows may carry the full comparison as a string ("<=0.05").
+            gate = row["gate"]
+            if gate is None:
+                gate = "-"
+            elif not isinstance(gate, str):
+                gate = ">=%.2f" % gate
             flag = "" if row["ok"] else "  FAIL"
             lines.append(
                 "%-16s %-44s %8.2f%s  %-6s%s"

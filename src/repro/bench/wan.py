@@ -1,0 +1,524 @@
+"""WAN federation bench: RTT independence and the geo-bank drills.
+
+Two sections mirror the federation's two promises:
+
+* **RTT sweep** — a two-site federation (``alpha`` with two rings,
+  ``beta`` with one) runs a purely local workload isolated on alpha's
+  ring 1 while a beta client hammers a group on alpha's backbone across
+  the WAN.  The inter-site RTT sweeps 10 → 300 ms over an *asymmetric*
+  latency split; the headline gate is that the local invocation p50
+  stays within 5% of a standalone single-site cluster's — WAN distance
+  must never tax traffic that does not cross it.
+
+* **Geo-bank drill** — a three-site federation runs the geo-replicated
+  :class:`~repro.workloads.bank.GeoBank` with one branch per site and
+  cross-site transfers, then compromises a *whole site* (every one of
+  its outbound site-gateway forwarders corrupts, each differently)
+  while a rogue teller at the doomed site keeps issuing transfers
+  against the surviving sites.  Because the compromised copies disagree
+  with each other, receiving voters never assemble a majority: the
+  rogue's operations degrade to omission, money is conserved, replicas
+  agree, and honest traffic between surviving sites is untouched.  A
+  directed single-replica corruption on a surviving link rides along so
+  the forensic scorecard has a detectable fault to attribute
+  (precision = recall = 1.0 is a gate).
+
+Every number derives from simulated state only — no wall clocks — so
+the artifact is byte-identical across repeated runs and across perf
+modes (``REPRO_PERF_MODE=baseline``), which the ``wan-smoke`` CI job
+checks.  The ``headline`` rows feed ``repro.bench.trend`` without any
+code changes there.
+
+Usage::
+
+    python -m repro.bench.wan --smoke --out BENCH_wan.json
+    python -m repro.bench.wan --seed 11
+"""
+
+import argparse
+import json
+import sys
+
+from repro.cluster import ClusterConfig, ClusterManager
+from repro.core.config import SurvivabilityCase
+from repro.obs import Observability
+from repro.obs.critpath import attribute_spans
+from repro.obs.forensics import ForensicsHub, merge_timeline, score
+from repro.orb.idl import InterfaceDef, OperationDef, ParamDef
+from repro.sim.faults import FaultPlan
+from repro.wan import SiteSpec, WanConfig, WanManager
+from repro.workloads.bank import GeoBank
+
+COUNTER_IDL = InterfaceDef(
+    "Counter",
+    [OperationDef("add", [ParamDef("n", "long")], result="long")],
+)
+
+#: local-p50 deviation tolerated against the single-site baseline
+P50_GATE = 0.05
+
+
+class _CountingServant:
+    def __init__(self):
+        self.total = 0
+        self.calls = 0
+
+    def add(self, n):
+        self.calls += 1
+        self.total += n
+        return self.total
+
+
+def _median(values):
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+class _LatencyProbe:
+    """Issues ``operations`` invocations and records first-reply latency."""
+
+    def __init__(self, manager, stubs, operations, start, interval, label):
+        self.manager = manager
+        self.stubs = stubs
+        self.latency = {}
+        for k in range(operations):
+            at = start + k * interval
+            manager.scheduler.at(
+                at, self._make_fire(k, at), label="bench.%s" % label
+            )
+
+    def _make_fire(self, op, issued):
+        def fire():
+            def reply(_value, op=op, issued=issued):
+                if op not in self.latency:
+                    self.latency[op] = self.manager.scheduler.now - issued
+
+            for _pid, stub in self.stubs:
+                stub.add(1, reply_to=reply)
+
+        return fire
+
+    def p50(self):
+        return _median(list(self.latency.values()))
+
+
+# ----------------------------------------------------------------------
+# RTT sweep section
+# ----------------------------------------------------------------------
+
+def run_baseline_case(operations, seed, case):
+    """The standalone single-site cluster the sweep is gated against:
+    the same two-ring shape as site alpha, same ring-1 workload."""
+    config = ClusterConfig(num_rings=2, procs_per_ring=10, case=case, seed=seed)
+    cluster = ClusterManager(config)
+    server = cluster.deploy(
+        "local.counter", COUNTER_IDL, lambda pid: _CountingServant(), ring=1
+    )
+    client = cluster.deploy_client("local.driver", ring=1)
+    cluster.start()
+    probe = _LatencyProbe(
+        cluster,
+        cluster.client_stubs(client, COUNTER_IDL, server),
+        operations,
+        start=0.1,
+        interval=0.05,
+        label="baseline",
+    )
+    cluster.run(until=0.1 + operations * 0.05 + 1.0)
+    exactly_once = all(s.calls == operations for s in server.servants.values())
+    return {
+        "local_p50": probe.p50(),
+        "replies": len(probe.latency),
+        "exactly_once": exactly_once,
+    }
+
+
+def run_rtt_case(rtt, operations, remote_operations, seed, case, critpath=False):
+    """One sweep point: local ring-1 traffic at alpha plus beta-to-alpha
+    cross-site traffic, with the given inter-site round-trip time split
+    asymmetrically (55% outbound, 45% return)."""
+    latency = {
+        ("alpha", "beta"): 0.55 * rtt,
+        ("beta", "alpha"): 0.45 * rtt,
+    }
+    config = WanConfig(
+        sites=(SiteSpec("alpha", num_rings=2), SiteSpec("beta")),
+        case=case,
+        seed=seed,
+        latency=latency,
+    )
+    obs = Observability(forensics=ForensicsHub()) if critpath else None
+    wan = WanManager(config=config, obs=obs)
+
+    local_server = wan.deploy(
+        "local.counter", COUNTER_IDL, lambda pid: _CountingServant(),
+        site="alpha", ring=1,
+    )
+    local_client = wan.deploy_client("local.driver", site="alpha", ring=1)
+    shared_server = wan.deploy(
+        "shared.counter", COUNTER_IDL, lambda pid: _CountingServant(),
+        site="alpha", ring=0,
+    )
+    remote_client = wan.deploy_client("remote.driver", site="beta", ring=0)
+    wan.start()
+
+    local = _LatencyProbe(
+        wan,
+        wan.client_stubs(local_client, COUNTER_IDL, local_server),
+        operations,
+        start=0.1,
+        interval=0.05,
+        label="wan.local",
+    )
+    remote_interval = max(0.05, 2.0 * rtt)
+    remote = _LatencyProbe(
+        wan,
+        wan.client_stubs(remote_client, COUNTER_IDL, shared_server),
+        remote_operations,
+        start=0.1,
+        interval=remote_interval,
+        label="wan.remote",
+    )
+    end = 0.1 + max(operations * 0.05, remote_operations * remote_interval)
+    wan.run(until=end + 4.0 * rtt + 1.0)
+
+    result = {
+        "rtt": rtt,
+        "latency_matrix": {
+            "alpha->beta": latency[("alpha", "beta")],
+            "beta->alpha": latency[("beta", "alpha")],
+        },
+        "local_p50": local.p50(),
+        "remote_p50": remote.p50(),
+        "local_replies": len(local.latency),
+        "remote_replies": len(remote.latency),
+        "local_exactly_once": all(
+            s.calls == operations for s in local_server.servants.values()
+        ),
+        "remote_exactly_once": all(
+            s.calls == remote_operations for s in shared_server.servants.values()
+        ),
+        "simulated_seconds": wan.scheduler.now,
+    }
+    if critpath:
+        timeline = merge_timeline(obs.forensics)
+        report = attribute_spans(
+            obs.spans,
+            timeline,
+            shard_of_group=wan.shard_of_group(),
+            site_of_shard=wan.site_of_shard(),
+        )
+        result["critpath"] = {
+            "per_cause": report["per_cause"],
+            "per_site": report["per_site"],
+            "total_seconds": report["total_seconds"],
+        }
+        result["topology"] = wan.topology.to_dict()
+        result["shard_map"] = {
+            str(shard): site for shard, site in sorted(wan.site_of_shard().items())
+        }
+    return result
+
+
+def run_rtt_sweep(rtts, operations, remote_operations, seed, case):
+    baseline = run_baseline_case(operations, seed, case)
+    points = []
+    for index, rtt in enumerate(rtts):
+        point = run_rtt_case(
+            rtt, operations, remote_operations, seed, case,
+            critpath=(index == len(rtts) - 1),
+        )
+        deviation = (
+            abs(point["local_p50"] - baseline["local_p50"]) / baseline["local_p50"]
+            if baseline["local_p50"]
+            else 1.0
+        )
+        point["local_p50_deviation"] = deviation
+        point["ok"] = (
+            deviation <= P50_GATE
+            and point["local_exactly_once"]
+            and point["remote_exactly_once"]
+        )
+        points.append(point)
+    return {
+        "baseline": baseline,
+        "points": points,
+        "worst_deviation": max(p["local_p50_deviation"] for p in points),
+        "ok": all(p["ok"] for p in points) and baseline["exactly_once"],
+    }
+
+
+# ----------------------------------------------------------------------
+# geo-bank drill section
+# ----------------------------------------------------------------------
+
+def run_geo_drill(seed, case, transfers=2):
+    """Conservation through a whole-site Byzantine compromise.
+
+    Honest cross-site transfers run before and after the compromise of
+    site ``gamma``; a rogue teller *at* gamma issues a transfer against
+    the surviving sites pre-compromise (it completes — the site is still
+    honest) and again post-compromise (every invocation must leave the
+    site through corrupted forwarders, so nothing executes anywhere).
+    A directed single-replica corruption on the surviving alpha-beta
+    link gives the divergence detector one detectable fault.
+    """
+    obs = Observability(forensics=ForensicsHub())
+    config = WanConfig(
+        sites=("alpha", "beta", "gamma"), case=case, seed=seed, latency=0.010
+    )
+    wan = WanManager(config=config, obs=obs, fault_plan=FaultPlan())
+    bank = GeoBank(
+        wan,
+        branches=["north", "south", "east"],
+        branch_sites={"north": "alpha", "south": "beta", "east": "gamma"},
+        teller_site="alpha",
+    )
+    rogue, rogue_stubs = bank.add_teller("bank.rogue", "gamma")
+    degree = config.replication_degree
+
+    # honest cross-site traffic before the compromise
+    ops = []
+    at = 0.2
+    for k in range(transfers):
+        bank.schedule_transfer(at, "north", 1, "south", 1, 10)
+        ops.append(("transfer:north#1->south#1:10@%g" % at, degree))
+        at += 0.3
+    bank.schedule_transfer(at, "south", 2, "east", 2, 5)
+    ops.append(("transfer:south#2->east#2:5@%g" % at, degree))
+    at += 0.3
+    # the rogue is still honest: its transfer completes fully pre-T_c
+    bank.schedule_transfer(at, "east", 1, "north", 1, 7, stubs=rogue_stubs)
+    ops.append(("transfer:east#1->north#1:7@%g" % at, degree))
+
+    compromise_at = at + 0.5
+    wan.compromise_site("gamma", at_time=compromise_at)
+
+    # post-compromise: the rogue attacks the surviving sites -- every
+    # invocation must cross gamma's corrupted outbound gateways
+    rogue_at = compromise_at + 0.1
+    bank.schedule_transfer(rogue_at, "north", 2, "south", 2, 50, stubs=rogue_stubs)
+    rogue_label = "transfer:north#2->south#2:50@%g" % rogue_at
+    # honest traffic between surviving sites carries on
+    honest_at = rogue_at + 0.3
+    bank.schedule_transfer(honest_at, "north", 2, "south", 2, 3)
+    ops.append(("transfer:north#2->south#2:3@%g" % honest_at, degree))
+
+    # a *detectable* fault: one replica of the surviving link corrupts
+    # its alpha->beta direction; beta's voters outvote and convict it
+    corrupt_at = honest_at + 0.3
+    corrupt = wan.corrupt_site_gateway(
+        "alpha", "beta", index=0, at_time=corrupt_at, direction="alpha"
+    )
+    drill_at = corrupt_at + 0.3
+    bank.schedule_transfer(drill_at, "north", 1, "south", 1, 4)
+    ops.append(("transfer:north#1->south#1:4@%g" % drill_at, degree))
+
+    wan.start()
+    wan.run(until=drill_at + 4.0)
+
+    by_label = {}
+    for label, _value in bank.replies:
+        by_label[label] = by_label.get(label, 0) + 1
+    honest_exact = all(
+        by_label.get(label + ":w", 0) == degree
+        and by_label.get(label + ":d", 0) == degree
+        for label, degree in ops
+    )
+    rogue_blocked = (
+        by_label.get(rogue_label + ":w", 0) == 0
+        and by_label.get(rogue_label + ":d", 0) == 0
+    )
+    scorecard = score(obs.forensics)
+    return {
+        "case": case.name,
+        "sites": list(config.site_names()),
+        "branch_sites": {"north": "alpha", "south": "beta", "east": "gamma"},
+        "compromised_site": "gamma",
+        "compromise_at": compromise_at,
+        "corrupt_replica": {"pid_alpha": corrupt.pid_a, "pid_beta": corrupt.pid_b},
+        "conserved": bank.conserved(),
+        "replicas_agree": bank.replicas_agree(),
+        "honest_ops_exactly_once": honest_exact,
+        "rogue_blocked_post_compromise": rogue_blocked,
+        "failed_ops": list(bank.failed),
+        "replies_by_label": {k: by_label[k] for k in sorted(by_label)},
+        "branch_totals": {
+            name: {str(pid): total for pid, total in by_pid.items()}
+            for name, by_pid in bank.branch_totals().items()
+        },
+        "expected_total": bank.expected_total(),
+        "precision": scorecard["precision"],
+        "recall": scorecard["recall"],
+        "false_positives": scorecard["false_positives"],
+        "gateway_stats": wan.gateway_stats(),
+        "simulated_seconds": wan.scheduler.now,
+        "ok": (
+            bank.conserved()
+            and bank.replicas_agree()
+            and honest_exact
+            and rogue_blocked
+            and not bank.failed
+            and scorecard["precision"] == 1.0
+            and scorecard["recall"] == 1.0
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# report assembly
+# ----------------------------------------------------------------------
+
+def run_bench(rtts, operations, remote_operations, transfers, seed, case):
+    sweep = run_rtt_sweep(rtts, operations, remote_operations, seed, case)
+    drill = run_geo_drill(seed + 4, case, transfers=transfers)
+    headline = [
+        {
+            "metric": "WAN local p50 deviation vs single-site, worst RTT",
+            "value": sweep["worst_deviation"],
+            "unit": "frac",
+            "gate": "<=%.2f" % P50_GATE,
+            "ok": sweep["ok"],
+        },
+        {
+            "metric": "geo bank conserved through site compromise",
+            "value": 1.0 if drill["conserved"] else 0.0,
+            "unit": "bool",
+            "gate": "==1",
+            "ok": drill["ok"],
+        },
+        {
+            "metric": "WAN forensics precision",
+            "value": drill["precision"],
+            "unit": "frac",
+            "gate": "==1.00",
+            "ok": drill["precision"] == 1.0,
+        },
+        {
+            "metric": "WAN forensics recall",
+            "value": drill["recall"],
+            "unit": "frac",
+            "gate": "==1.00",
+            "ok": drill["recall"] == 1.0,
+        },
+    ]
+    return {
+        "bench": "wan-federation",
+        "config": {
+            "case": case.name,
+            "seed": seed,
+            "rtts": list(rtts),
+            "local_operations": operations,
+            "remote_operations": remote_operations,
+            "transfers": transfers,
+        },
+        "rtt_sweep": sweep,
+        "geo_drill": drill,
+        "headline": headline,
+        "ok": sweep["ok"] and drill["ok"],
+    }
+
+
+def render(report):
+    lines = []
+    add = lines.append
+    sweep = report["rtt_sweep"]
+    add("== WAN RTT sweep " + "=" * 45)
+    add(
+        "  baseline (single site): local p50 %.3f ms"
+        % (sweep["baseline"]["local_p50"] * 1e3)
+    )
+    for point in sweep["points"]:
+        add(
+            "  rtt %5.0f ms: local p50 %.3f ms (dev %.2f%%)  remote p50 %8.3f ms  %s"
+            % (
+                point["rtt"] * 1e3,
+                point["local_p50"] * 1e3,
+                point["local_p50_deviation"] * 1e2,
+                point["remote_p50"] * 1e3,
+                "ok" if point["ok"] else "FAIL",
+            )
+        )
+    last = sweep["points"][-1]
+    if "critpath" in last:
+        add(
+            "  critical path at rtt %.0f ms: %s"
+            % (
+                last["rtt"] * 1e3,
+                "  ".join(
+                    "%s=%.1f%%" % (row["cause"], 100.0 * row["share"])
+                    for row in last["critpath"]["per_cause"][:4]
+                ),
+            )
+        )
+    drill = report["geo_drill"]
+    add("== geo-bank site-compromise drill " + "=" * 28)
+    add(
+        "  site %s compromised at t=%gs: conserved=%s agree=%s honest_exactly_once=%s"
+        % (
+            drill["compromised_site"],
+            drill["compromise_at"],
+            drill["conserved"],
+            drill["replicas_agree"],
+            drill["honest_ops_exactly_once"],
+        )
+    )
+    add(
+        "  rogue blocked post-compromise=%s  precision=%.2f recall=%.2f"
+        % (drill["rogue_blocked_post_compromise"], drill["precision"], drill["recall"])
+    )
+    add("== headline " + "=" * 50)
+    for row in report["headline"]:
+        add(
+            "  %-52s %8.4f %-5s %s"
+            % (row["metric"], row["value"], row["unit"], "ok" if row["ok"] else "FAIL")
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.wan",
+        description="WAN federation: RTT independence and geo-bank drills.",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small CI configuration: two RTT points, short windows",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", default="BENCH_wan.json",
+        help="JSON artifact path (default: %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        params = dict(
+            rtts=(0.010, 0.300), operations=6, remote_operations=3, transfers=1
+        )
+    else:
+        params = dict(
+            rtts=(0.010, 0.050, 0.100, 0.300),
+            operations=10,
+            remote_operations=4,
+            transfers=2,
+        )
+    report = run_bench(
+        seed=args.seed, case=SurvivabilityCase.FULL_SURVIVABILITY, **params
+    )
+
+    blob = json.dumps(report, sort_keys=True, indent=2) + "\n"
+    with open(args.out, "w") as fh:
+        fh.write(blob)
+    print(render(report))
+    print("\nJSON report written to %s" % args.out)
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,6 +23,20 @@ class ClusterConfigError(Exception):
     """Raised when a cluster layout violates the resilience rules."""
 
 
+def _checked_int(name, value, minimum, maximum):
+    """Validate an integer knob; the error names the field and the range."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ClusterConfigError(
+            "%s must be an integer between %d and %d, got %r"
+            % (name, minimum, maximum, value)
+        )
+    if not minimum <= value <= maximum:
+        raise ClusterConfigError(
+            "%s must be between %d and %d, got %d" % (name, minimum, maximum, value)
+        )
+    return value
+
+
 class ClusterConfig:
     """Layout and survivability knobs of one multi-ring cluster."""
 
@@ -39,11 +53,21 @@ class ClusterConfig:
         messages_per_token_visit=6,
         placement_mode="rendezvous",
         placement_salt=0,
+        pid_base=0,
+        wan_gateway_degree=0,
+        site=None,
     ):
-        if num_rings < 1:
-            raise ClusterConfigError("a cluster needs at least one ring")
-        if procs_per_ring < 1:
-            raise ClusterConfigError("each ring needs at least one processor")
+        """``pid_base``, ``wan_gateway_degree`` and ``site`` exist for
+        :mod:`repro.wan`: a federation numbers each site's cluster from
+        a disjoint global pid range, reserves ``wan_gateway_degree``
+        backbone (ring 0) processors as the site's voted WAN gateway
+        hosts, and labels the site's telemetry with its name."""
+        _checked_int("num_rings", num_rings, 1, 4096)
+        _checked_int("procs_per_ring", procs_per_ring, 1, 4096)
+        _checked_int("gateway_degree", gateway_degree, 0, 4096)
+        _checked_int("replication_degree", replication_degree, 1, 4096)
+        _checked_int("pid_base", pid_base, 0, 2**31)
+        _checked_int("wan_gateway_degree", wan_gateway_degree, 0, 4096)
         if num_rings > 1:
             if not case.replicated:
                 raise ClusterConfigError(
@@ -69,6 +93,29 @@ class ClusterConfig:
                 "(at most one replica per processor)"
                 % (replication_degree, replication_degree, procs_per_ring)
             )
+        if wan_gateway_degree:
+            if not case.replicated:
+                raise ClusterConfigError(
+                    "a WAN-federated site needs a replicated case (2-4): "
+                    "site gateways re-originate through the multicast stack"
+                )
+            if case.voting and wan_gateway_degree < 3:
+                raise ClusterConfigError(
+                    "a voting federation needs wan_gateway_degree >= 3 so a "
+                    "majority of site-gateway copies masks one Byzantine "
+                    "replica (got %d)" % wan_gateway_degree
+                )
+            backbone_free = procs_per_ring - (gateway_degree if num_rings > 1 else 0)
+            if wan_gateway_degree > backbone_free:
+                raise ClusterConfigError(
+                    "wan_gateway_degree %d exceeds the %d backbone (ring 0) "
+                    "processors left after %d cluster gateways"
+                    % (
+                        wan_gateway_degree,
+                        backbone_free,
+                        gateway_degree if num_rings > 1 else 0,
+                    )
+                )
         self.num_rings = num_rings
         self.procs_per_ring = procs_per_ring
         self.gateway_degree = gateway_degree if num_rings > 1 else 0
@@ -80,6 +127,9 @@ class ClusterConfig:
         self.messages_per_token_visit = messages_per_token_visit
         self.placement_mode = placement_mode
         self.placement_salt = placement_salt
+        self.pid_base = pid_base
+        self.wan_gateway_degree = wan_gateway_degree
+        self.site = site
 
     # ------------------------------------------------------------------
     # processor numbering: rings draw from disjoint global pid ranges
@@ -88,7 +138,7 @@ class ClusterConfig:
     def ring_pids(self, ring_index):
         """The global processor ids of ring ``ring_index``."""
         self._check_ring(ring_index)
-        base = ring_index * self.procs_per_ring
+        base = self.pid_base + ring_index * self.procs_per_ring
         return tuple(range(base, base + self.procs_per_ring))
 
     def gateway_pids(self, ring_index):
@@ -98,13 +148,24 @@ class ClusterConfig:
             return ()
         return pids[-self.gateway_degree:]
 
+    def wan_gateway_pids(self):
+        """The site's WAN gateway hosts: the highest backbone (ring 0)
+        pids that are not already cluster gateways."""
+        if not self.wan_gateway_degree:
+            return ()
+        cluster_gateways = set(self.gateway_pids(0))
+        free = [p for p in self.ring_pids(0) if p not in cluster_gateways]
+        return tuple(free[-self.wan_gateway_degree:])
+
     def worker_pids(self, ring_index):
         """The ring's non-gateway pids, preferred for replica placement."""
-        gateways = set(self.gateway_pids(ring_index))
-        return tuple(p for p in self.ring_pids(ring_index) if p not in gateways)
+        reserved = set(self.gateway_pids(ring_index))
+        if ring_index == 0:
+            reserved.update(self.wan_gateway_pids())
+        return tuple(p for p in self.ring_pids(ring_index) if p not in reserved)
 
     def ring_of_pid(self, pid):
-        ring = pid // self.procs_per_ring
+        ring = (pid - self.pid_base) // self.procs_per_ring
         self._check_ring(ring)
         return ring
 

@@ -108,17 +108,36 @@ class ClusterManager:
         net_params=None,
         fault_plans=None,
         trace_kinds=frozenset(),
+        scheduler=None,
+        keystore=None,
+        streams=None,
+        ring_base=0,
     ):
         """``fault_plans`` maps ring index -> :class:`FaultPlan` so
-        drills can crash or corrupt processors of a specific ring."""
+        drills can crash or corrupt processors of a specific ring.
+
+        ``scheduler``/``keystore``/``streams`` let :mod:`repro.wan`
+        embed several clusters (one per site) in one simulation: all
+        sites share a timeline and a key directory, while each site's
+        ``streams`` subtree keeps its RNG draws independent of its
+        peers'.  ``ring_base`` is the cumulative ring count of the
+        sites constructed before this one, so flight-recorder and trace
+        shard indices stay globally unique across the federation.
+        """
         self.config = config or ClusterConfig()
-        self.scheduler = Scheduler()
+        self.scheduler = scheduler if scheduler is not None else Scheduler()
         self.obs = obs
-        self.streams = RngStreams(self.config.seed)
+        self.site = self.config.site
+        self.ring_base = ring_base
+        self.streams = (
+            streams if streams is not None else RngStreams(self.config.seed)
+        )
         self.directory = ClusterDirectory()
         self.placement = PlacementEngine(self.config)
         ring0 = self.config.ring_config(0)
-        if self.config.case.replicated:
+        if keystore is not None:
+            self.keystore = keystore
+        elif self.config.case.replicated:
             self.keystore = KeyStore(
                 random.Random(self.config.seed),
                 modulus_bits=self.config.modulus_bits,
@@ -132,7 +151,14 @@ class ClusterManager:
         fault_plans = fault_plans or {}
         for ring_index in range(self.config.num_rings):
             ring_obs = (
-                RingObservability(obs, ring_index) if obs is not None else None
+                RingObservability(
+                    obs,
+                    ring_index,
+                    site=self.site,
+                    shard=ring_base + ring_index,
+                )
+                if obs is not None
+                else None
             )
             immune = ImmuneSystem(
                 self.config.procs_per_ring,
@@ -176,17 +202,21 @@ class ClusterManager:
         return self._ring_obs[ring_index]
 
     def _collect_cluster_metrics(self, registry):
-        registry.gauge("cluster.rings").set(self.config.num_rings)
-        registry.gauge("cluster.groups").set(len(self.directory.groups()))
-        registry.gauge("cluster.gateway_links").set(len(self.links))
+        # On a federation the cluster-level gauges carry the site name,
+        # or every site's values would collide in one unlabelled gauge;
+        # single-site clusters keep their label sets unchanged.
+        site = {} if self.site is None else {"site": self.site}
+        registry.gauge("cluster.rings", **site).set(self.config.num_rings)
+        registry.gauge("cluster.groups", **site).set(len(self.directory.groups()))
+        registry.gauge("cluster.gateway_links", **site).set(len(self.links))
         for (a, b), link in sorted(self.links.items()):
             forwarded = sum(
                 r.forward_ab.stats["forwarded"] + r.forward_ba.stats["forwarded"]
                 for r in link.replicas
             )
-            registry.gauge("cluster.link_forwarded", link="%d-%d" % (a, b)).set(
-                forwarded
-            )
+            registry.gauge(
+                "cluster.link_forwarded", link="%d-%d" % (a, b), **site
+            ).set(forwarded)
 
     # ------------------------------------------------------------------
     # deployment: one API over all rings
@@ -242,13 +272,33 @@ class ClusterManager:
         across the gateway replicas.
         """
         self.directory.record(group_name, ring, procs)
+        self._register_foreign(group_name, ring)
+
+    def _register_foreign(self, group_name, home_ring):
+        """Register ``group_name`` on every ring other than its home,
+        with the local gateway pids toward the home ring as members."""
         for other in range(self.config.num_rings):
-            if other == ring:
+            if other == home_ring:
                 continue
-            link = self.links[(min(ring, other), max(ring, other))]
+            link = self.links[(min(home_ring, other), max(home_ring, other))]
             gateway_members = link.side_pids(other)
             for manager in self.rings[other].managers.values():
                 manager.register_group(group_name, gateway_members)
+
+    def register_remote_group(self, group_name, backbone_members):
+        """Adopt a group that really lives on *another site*.
+
+        The federation homes the foreign group on this site's backbone
+        (ring 0) with the site's WAN-gateway pids as its members: local
+        voters then take a majority across the WAN-gateway copies —
+        masking one Byzantine site-gateway replica — and the existing
+        cluster gateways route the backbone-homed group's traffic from
+        every other local ring exactly as they would any ring-0 group.
+        """
+        self.directory.record(group_name, 0, backbone_members)
+        for manager in self.rings[0].managers.values():
+            manager.register_group(group_name, backbone_members)
+        self._register_foreign(group_name, 0)
 
     # ------------------------------------------------------------------
     # invocation: stubs work across rings transparently

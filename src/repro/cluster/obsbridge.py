@@ -36,10 +36,14 @@ class RingScopedRegistry:
     how many ring views are bound to it.
     """
 
-    def __init__(self, registry, ring_index):
+    def __init__(self, registry, ring_index, site=None):
         #: the shared root registry (never another scoped view)
         self._root = getattr(registry, "unscoped", registry)
         self.ring = ring_index
+        #: site name stamped as ``site=<name>`` on WAN federations
+        #: (None on single-site clusters, keeping their label sets —
+        #: and therefore their exported artifacts — byte-identical)
+        self.site = site
 
     @property
     def unscoped(self):
@@ -48,6 +52,8 @@ class RingScopedRegistry:
     def _scoped(self, labels):
         if "ring" not in labels:
             labels["ring"] = self.ring
+        if self.site is not None and "site" not in labels:
+            labels["site"] = self.site
         return labels
 
     # ------------------------------------------------------------------
@@ -78,8 +84,16 @@ class RingScopedRegistry:
 
     def family(self, name):
         """This ring's instances of family ``name``."""
-        want = ("ring", self.ring)
-        return [m for m in self._root.family(name) if want in m.labels]
+        want = [("ring", self.ring)]
+        if self.site is not None:
+            # Ring indices repeat across sites; the site label is what
+            # keeps two sites' "ring 0" families apart.
+            want.append(("site", self.site))
+        return [
+            m
+            for m in self._root.family(name)
+            if all(pair in m.labels for pair in want)
+        ]
 
     def total(self, name):
         return sum(metric.value for metric in self.family(name))
@@ -221,20 +235,30 @@ class RingObservability:
     and ``bind``.
     """
 
-    def __init__(self, obs, ring_index):
+    def __init__(self, obs, ring_index, site=None, shard=None):
+        """``site`` labels the ring's metrics on WAN federations.
+
+        ``shard`` is the *globally unique* shard index stamped onto
+        flight recorders and trace events; it defaults to the ring
+        index (correct for a single cluster) but a federation passes
+        ``ring_base + ring_index`` because every site numbers its rings
+        from zero.
+        """
+        if shard is None:
+            shard = ring_index
         self._obs = obs
         self.ring = ring_index
-        self.registry = RingScopedRegistry(obs.registry, ring_index)
+        self.site = site
+        self.shard = shard
+        self.registry = RingScopedRegistry(obs.registry, ring_index, site=site)
         self.spans = obs.spans
         self.forensics = (
-            RingScopedForensics(obs.forensics, ring_index)
+            RingScopedForensics(obs.forensics, shard)
             if obs.forensics is not None
             else None
         )
         trace = getattr(obs, "trace", None)
-        self.trace = (
-            RingScopedTrace(trace, ring_index) if trace is not None else None
-        )
+        self.trace = RingScopedTrace(trace, shard) if trace is not None else None
 
     def bind(self, scheduler):
         self._obs.bind(scheduler)

@@ -18,6 +18,9 @@ stage delta is joined against the flight-recorder timeline
   next live token event;
 * ``vote_quorum_wait`` — waiting for a majority of copies to arrive;
 * ``gateway_hop`` — cross-ring voted gateway re-origination;
+* ``wan_hop`` — cross-site voted WAN-gateway re-origination, priced off
+  the inter-site latency matrix (the ``wan_forwarded`` stages are marked
+  when the copy *lands*, so their deltas contain the WAN flight time);
 * ``client_processing`` / ``dispatch`` / ``execution`` — endpoint work
   at the client and server sides;
 * ``ordering`` — the residual: network transmission plus in-order
@@ -44,6 +47,7 @@ CAUSES = (
     "retransmission",
     "vote_quorum_wait",
     "gateway_hop",
+    "wan_hop",
     "client_processing",
     "dispatch",
     "execution",
@@ -54,10 +58,12 @@ CAUSES = (
 _DIRECT_CAUSE = {
     "multicast_queued": "client_processing",
     "gateway_forwarded": "gateway_hop",
+    "wan_forwarded": "wan_hop",
     "voted": "vote_quorum_wait",
     "dispatched": "dispatch",
     "executed": "execution",
     "reply_gateway_forwarded": "gateway_hop",
+    "reply_wan_forwarded": "wan_hop",
     "reply_voted": "vote_quorum_wait",
 }
 
@@ -246,29 +252,38 @@ def attribute_span(span, evidence, cost_model=None, shard=None):
     return out
 
 
-def attribute_spans(spans, timeline, cost_model=None, shard_of_group=None):
+def attribute_spans(
+    spans, timeline, cost_model=None, shard_of_group=None, site_of_shard=None
+):
     """Attribute every closed span; aggregate per cause, stage, group, ring.
 
     ``spans`` is a :class:`~repro.obs.spans.SpanTracker`; ``timeline``
     the merged forensic timeline; ``shard_of_group`` optionally maps a
     span's source group name to its home ring so token evidence is read
     from the right shard in a cluster (``None`` merges all rings).
+    ``site_of_shard`` maps shard index -> site name on a WAN federation
+    and adds a ``per_site`` aggregation keyed by site name.
 
     Returns a plain dict: ``per_cause`` (seconds and share),
     ``per_stage`` (stage × cause rows), ``per_group`` and ``per_ring``
-    cause totals, and the span/second totals they aggregate.
+    (and, with ``site_of_shard``, ``per_site``) cause totals, and the
+    span/second totals they aggregate.
     """
     evidence = _TokenEvidence(timeline)
     per_cause = {}
     per_stage = {}
     per_group = {}
     per_ring = {}
+    per_site = {}
     total_seconds = 0.0
     closed = spans.closed_spans()
     for span in closed:
         group = span.key[0]
         shard = None if shard_of_group is None else shard_of_group.get(group)
         ring_key = 0 if shard is None else shard
+        site_key = None
+        if site_of_shard is not None:
+            site_key = site_of_shard.get(ring_key, "?")
         rows = attribute_span(span, evidence, cost_model=cost_model, shard=shard)
         for stage, cause, seconds in rows:
             per_cause[cause] = per_cause.get(cause, 0.0) + seconds
@@ -277,11 +292,14 @@ def attribute_spans(spans, timeline, cost_model=None, shard_of_group=None):
             group_causes[cause] = group_causes.get(cause, 0.0) + seconds
             ring_causes = per_ring.setdefault(ring_key, {})
             ring_causes[cause] = ring_causes.get(cause, 0.0) + seconds
+            if site_key is not None:
+                site_causes = per_site.setdefault(site_key, {})
+                site_causes[cause] = site_causes.get(cause, 0.0) + seconds
             total_seconds += seconds
 
     stage_order = {stage: i for i, stage in enumerate(SPAN_STAGES)}
     cause_order = {cause: i for i, cause in enumerate(CAUSES)}
-    return {
+    report = {
         "spans": len(closed),
         "total_seconds": total_seconds,
         "per_cause": [
@@ -314,6 +332,14 @@ def attribute_spans(spans, timeline, cost_model=None, shard_of_group=None):
             for ring, causes in sorted(per_ring.items())
         },
     }
+    if site_of_shard is not None:
+        report["per_site"] = {
+            site: {
+                cause: causes[cause] for cause in sorted(causes, key=cause_order.get)
+            }
+            for site, causes in sorted(per_site.items())
+        }
+    return report
 
 
 # ----------------------------------------------------------------------
@@ -360,5 +386,14 @@ def render_critpath(report, width=28):
             add(
                 "    ring %-4s %s"
                 % (ring, "  ".join("%s=%s" % (c, _fmt_seconds(s)) for c, s in top))
+            )
+    sites = report.get("per_site")
+    if sites:
+        add("  by site:")
+        for site, causes in sites.items():
+            top = sorted(causes.items(), key=lambda kv: (-kv[1], kv[0]))[:3]
+            add(
+                "    site %-8s %s"
+                % (site, "  ".join("%s=%s" % (c, _fmt_seconds(s)) for c, s in top))
             )
     return "\n".join(lines)

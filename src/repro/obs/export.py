@@ -61,18 +61,39 @@ _PREVIEW_FAMILIES = (
 )
 
 
-def family_curve(sampler, name, mode):
+def family_sites(sampler, name):
+    """The sorted ``site`` labels a family's series carry, if any.
+
+    A single-site run has no ``site`` label at all (returns ``[]``); a
+    federation (:mod:`repro.wan`) stamps one per site, and the preview
+    renders one extra curve per site under the aggregate.
+    """
+    sites = set()
+    for series in sampler.family(name):
+        sites.add(dict(series.labels).get("site"))
+    sites.discard(None)
+    return sorted(sites)
+
+
+def _site_filtered(series_list, site):
+    if site is None:
+        return series_list
+    return [s for s in series_list if dict(s.labels).get("site") == site]
+
+
+def family_curve(sampler, name, mode, site=None):
     """Collapse one family's series into a single curve over the ticks.
 
     Modes: ``rate`` (summed counter delta per second), ``value``
     (summed cumulative value), ``gauge`` (summed latest values),
     ``mean`` (histogram per-tick mean of new observations), ``backlog``
     (``span.opened`` minus ``span.closed`` — invocations in flight).
+    ``site`` restricts the collapse to series labelled with that site.
     """
     times = list(sampler.times)
-    series_list = sampler.family(name)
+    series_list = _site_filtered(sampler.family(name), site)
     if mode == "backlog":
-        closed = sampler.family("span.closed")
+        closed = _site_filtered(sampler.family("span.closed"), site)
         return [
             sum(s.value_at(t) for s in series_list)
             - sum(s.value_at(t) for s in closed)
@@ -120,6 +141,22 @@ def _telemetry_preview(sampler, width=48):
             "max": max(curve),
             "last": curve[-1],
         })
+        # Federation runs stamp series with site= labels; render one
+        # sub-curve per site under the aggregate so a whole-site outage
+        # reads as one flatlining row, not a dip in the sum.
+        for site in family_sites(sampler, name):
+            site_curve = family_curve(sampler, name, mode, site=site)
+            if not site_curve or not any(site_curve):
+                continue
+            rows.append({
+                "name": name,
+                "mode": mode,
+                "site": site,
+                "spark": sparkline(site_curve, width=width),
+                "min": min(site_curve),
+                "max": max(site_curve),
+                "last": site_curve[-1],
+            })
     return {
         "period": sampler.period,
         "samples": len(sampler.times),
@@ -349,6 +386,10 @@ def render_dashboard(summary, run_info=None):
         header("Telemetry (sampled every %gs, %d samples)" % (
             telemetry["period"], telemetry["samples"]))
         for row in telemetry["preview"]:
+            if row.get("site") is not None:
+                label = "  site=%s" % row["site"]
+                add("  %-32s %s" % (label, row["spark"]))
+                continue
             label = "%s (%s)" % (row["name"], row["mode"])
             add("  %-32s %s" % (label, row["spark"]))
             add("  %-32s min %-10.4g max %-10.4g last %.4g" % (

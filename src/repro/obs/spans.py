@@ -34,12 +34,17 @@ SPAN_STAGES = (
     "multicast_queued",     # handed to the secure multicast endpoint
     "gateway_forwarded",    # cross-ring: gateway re-originated the voted
                             # invocation on the destination ring
+    "wan_forwarded",        # cross-site: WAN gateway's voted copy landed on
+                            # the destination site's backbone (marked at
+                            # injection, so the delta prices the WAN flight)
     "ordered",              # first totally-ordered delivery at a server-side RM
     "voted",                # invocation majority vote decided (or dup-filtered)
     "dispatched",           # winning frame injected into a server ORB
     "executed",             # servant finished; reply frame left the server RM
     "reply_gateway_forwarded",  # cross-ring: gateway re-originated the voted
                                 # reply on the client's ring
+    "reply_wan_forwarded",  # cross-site: the voted reply landed back on the
+                            # client site's backbone after the WAN flight
     "reply_ordered",        # first response copy totally-ordered at a client RM
     "reply_voted",          # response vote decided; reply handed to client ORB
 )

@@ -25,7 +25,7 @@ import json
 import sys
 import time as _walltime
 
-from repro.obs.export import _PREVIEW_FAMILIES, family_curve
+from repro.obs.export import _PREVIEW_FAMILIES, family_curve, family_sites
 from repro.obs.series import Series, sparkline
 
 
@@ -149,6 +149,14 @@ def render_frame(sampler, alerts, now, run_info=None, width=48):
         label = "%s (%s)" % (name, mode)
         add("  %-32s %s" % (label, sparkline(curve, width=width) or " "))
         add("  %-32s last %.4g" % ("", curve[-1]))
+        # Federation exports carry site= labels: one sub-row per site,
+        # so a partitioned or compromised site flatlines visibly.
+        for site in family_sites(frame, name):
+            site_curve = family_curve(frame, name, mode, site=site)
+            if not site_curve or not any(site_curve):
+                continue
+            add("  %-32s %s" % (
+                "  site=%s" % site, sparkline(site_curve, width=width) or " "))
     add("")
     board = _alert_board(alerts, now)
     firing = sum(1 for row in board if row.endswith("FIRING"))

@@ -41,6 +41,8 @@ class FaultPlan:
         #: scheduled crash times by processor id (informational; the
         #: harness arms these with :meth:`arm_crashes`)
         self.crash_times = {}
+        #: scheduled WAN partition windows (see :meth:`schedule_partition`)
+        self.partitions = []
 
     # ------------------------------------------------------------------
     # configuration
@@ -62,6 +64,40 @@ class FaultPlan:
         """Record that ``proc_id`` fail-stops at ``time``."""
         self.crash_times[proc_id] = time
         return self
+
+    def schedule_partition(self, site_a, site_b=None, start=0.0, heal=None):
+        """Partition ``site_a`` from ``site_b`` over ``[start, heal)``.
+
+        With ``site_b=None`` the window isolates ``site_a`` from *every*
+        peer.  ``heal=None`` means the partition never heals.  Partition
+        windows are WAN-level: the :class:`~repro.sim.network.
+        WanTopology` consults them per send, so traffic already in
+        flight when the partition begins still lands (cutting a cable
+        does not recall packets), and sends after the heal flow again.
+
+        Partitions carry no culprit processor, so — unlike crashes —
+        they contribute nothing to :meth:`ground_truth`: a partition is
+        an environment fault the system must *survive*, not a processor
+        fault the detector must *attribute*.
+        """
+        self.partitions.append(
+            {"a": site_a, "b": site_b, "start": start, "heal": heal}
+        )
+        return self
+
+    def is_partitioned(self, site_x, site_y, now):
+        """Whether the sites are separated by an active partition window."""
+        for window in self.partitions:
+            if now < window["start"]:
+                continue
+            if window["heal"] is not None and now >= window["heal"]:
+                continue
+            if window["b"] is None:
+                if window["a"] in (site_x, site_y):
+                    return True
+            elif {site_x, site_y} == {window["a"], window["b"]}:
+                return True
+        return False
 
     def arm_crashes(self, scheduler, processors):
         """Install crash events on the scheduler for every scheduled crash."""

@@ -216,3 +216,164 @@ class Network:
 
 def _REQUIRED_RNG():
     raise SimulationError("corruption injection requires an RNG stream")
+
+
+# ----------------------------------------------------------------------
+# WAN site abstraction
+# ----------------------------------------------------------------------
+
+class WanLinkParams:
+    """Physical parameters of one *directed* inter-site WAN link."""
+
+    __slots__ = ("latency", "bandwidth_bps", "loss_prob", "loss_burst")
+
+    def __init__(self, latency, bandwidth_bps, loss_prob=0.0, loss_burst=0.0):
+        #: one-way propagation latency in seconds (the RTT of a site
+        #: pair is the sum of its two directed latencies)
+        self.latency = latency
+        self.bandwidth_bps = bandwidth_bps
+        #: probability that a send starts a loss burst
+        self.loss_prob = loss_prob
+        #: seconds a loss burst persists: WAN loss is correlated (a
+        #: congested or flapping path drops trains of packets, not
+        #: isolated ones), so one drawn loss drops everything on the
+        #: directed link for this long
+        self.loss_burst = loss_burst
+
+    def __repr__(self):
+        return "WanLinkParams(%.1fms, %.1fMbps, loss=%g/%gs)" % (
+            self.latency * 1e3,
+            self.bandwidth_bps / 1e6,
+            self.loss_prob,
+            self.loss_burst,
+        )
+
+
+class WanTopology:
+    """Named sites joined by asymmetric point-to-point WAN links.
+
+    Unlike the shared-medium :class:`Network` (one LAN inside a site),
+    inter-site traffic rides dedicated directed links: each ordered
+    site pair has its own latency, bandwidth, and correlated-loss
+    parameters, supplied either as one scalar for every link or as a
+    complete ``{(src, dst): value}`` matrix.  Partitions come from the
+    attached :class:`~repro.sim.faults.FaultPlan`
+    (``schedule_partition``), so a drill can cut a site off and heal it
+    on the simulation clock.
+
+    The topology is a passive model: the WAN gateways ask it whether a
+    send survives (:meth:`should_drop`) and how long it takes
+    (:meth:`transit_time`); it never touches the scheduler itself.
+    """
+
+    def __init__(
+        self,
+        sites,
+        latency=0.030,
+        bandwidth_bps=10_000_000,
+        loss_prob=0.0,
+        loss_burst=0.0,
+        header_bytes=58,
+        fault_plan=None,
+    ):
+        self.sites = tuple(sites)
+        if len(set(self.sites)) != len(self.sites):
+            raise SimulationError("duplicate site names in %r" % (self.sites,))
+        #: per-frame overhead (Ethernet + IP + UDP + tunnel headers)
+        self.header_bytes = header_bytes
+        self.fault_plan = fault_plan
+        self._links = {}
+        for src in self.sites:
+            for dst in self.sites:
+                if src == dst:
+                    continue
+                self._links[(src, dst)] = WanLinkParams(
+                    latency=self._resolve("latency", latency, src, dst),
+                    bandwidth_bps=self._resolve(
+                        "bandwidth_bps", bandwidth_bps, src, dst
+                    ),
+                    loss_prob=self._resolve("loss_prob", loss_prob, src, dst),
+                    loss_burst=self._resolve("loss_burst", loss_burst, src, dst),
+                )
+        #: directed link -> sim time until which a loss burst drops all
+        self._burst_until = {}
+
+    @staticmethod
+    def _resolve(name, value, src, dst):
+        """One scalar for every link, or a complete directed matrix."""
+        if isinstance(value, dict):
+            if (src, dst) not in value:
+                raise SimulationError(
+                    "WAN %s matrix is missing the directed entry (%r, %r)"
+                    % (name, src, dst)
+                )
+            value = value[(src, dst)]
+        if value < 0:
+            raise SimulationError(
+                "WAN %s for (%r, %r) must be >= 0, got %r" % (name, src, dst, value)
+            )
+        return value
+
+    def params(self, src_site, dst_site):
+        link = self._links.get((src_site, dst_site))
+        if link is None:
+            raise SimulationError(
+                "no WAN link %r -> %r (sites: %s)"
+                % (src_site, dst_site, list(self.sites))
+            )
+        return link
+
+    def transit_time(self, src_site, dst_site, payload_bytes):
+        """One-way flight time of a frame on the directed link."""
+        link = self.params(src_site, dst_site)
+        wire = 8.0 * (payload_bytes + self.header_bytes) / link.bandwidth_bps
+        return link.latency + wire
+
+    def rtt(self, site_a, site_b):
+        """Round-trip propagation latency between two sites."""
+        return self.params(site_a, site_b).latency + self.params(site_b, site_a).latency
+
+    def partitioned(self, src_site, dst_site, now):
+        plan = self.fault_plan
+        if plan is None:
+            return False
+        return plan.is_partitioned(src_site, dst_site, now)
+
+    def should_drop(self, src_site, dst_site, now, rng):
+        """Whether a send on the directed link is lost at ``now``.
+
+        Partitions drop deterministically; otherwise correlated loss
+        applies: a drawn loss opens a burst window during which every
+        subsequent send on the same directed link is dropped without a
+        further draw (deterministic, so byte-identity holds).
+        """
+        if self.partitioned(src_site, dst_site, now):
+            return True
+        link = self.params(src_site, dst_site)
+        if link.loss_prob <= 0.0:
+            return False
+        key = (src_site, dst_site)
+        if now < self._burst_until.get(key, -1.0):
+            return True
+        if rng.random() < link.loss_prob:
+            self._burst_until[key] = now + link.loss_burst
+            return True
+        return False
+
+    def to_dict(self):
+        """The directed link matrix, for bench artefacts."""
+        return {
+            "sites": list(self.sites),
+            "links": {
+                "%s->%s" % key: {
+                    "latency": link.latency,
+                    "bandwidth_bps": link.bandwidth_bps,
+                    "loss_prob": link.loss_prob,
+                    "loss_burst": link.loss_burst,
+                }
+                for key, link in sorted(self._links.items())
+            },
+        }
+
+    def __repr__(self):
+        return "WanTopology(%s)" % ", ".join(self.sites)

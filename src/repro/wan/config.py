@@ -1,0 +1,204 @@
+"""WAN federation configuration: named sites and the links between them.
+
+A federation is a *ring of rings*: every site runs its own multi-ring
+cluster (a :class:`~repro.cluster.config.ClusterConfig` per site), and
+the sites are joined by directed WAN links with their own latency,
+bandwidth, and correlated-loss parameters.  The knobs here size both
+levels and are validated up front with named-range errors — a bad site
+list or a hole in an asymmetric latency matrix fails at construction,
+not deep inside simulation setup.
+
+Two federation-specific resilience rules mirror the cluster's gateway
+arithmetic one level up:
+
+* each site reserves ``wan_gateway_degree`` backbone (ring 0)
+  processors as its *site gateway* hosts — at least three under
+  majority voting, so the receiving site's voters mask one Byzantine
+  site-gateway replica exactly as three object replicas mask one
+  corrupted replica;
+* sites draw disjoint global processor-id ranges (``pid_base``), so
+  flight recorders, trace shards, and metric labels stay unambiguous
+  across the federation.
+"""
+
+from repro.cluster.config import ClusterConfig, ClusterConfigError
+from repro.core.config import SurvivabilityCase
+from repro.sim.network import SimulationError, WanTopology
+
+
+class WanConfigError(Exception):
+    """Raised when a federation layout violates the resilience rules."""
+
+
+def _checked_int(name, value, minimum, maximum):
+    """Validate an integer knob; the error names the field and the range."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WanConfigError(
+            "%s must be an integer between %d and %d, got %r"
+            % (name, minimum, maximum, value)
+        )
+    if not minimum <= value <= maximum:
+        raise WanConfigError(
+            "%s must be between %d and %d, got %d" % (name, minimum, maximum, value)
+        )
+    return value
+
+
+class SiteSpec:
+    """The local shape of one site: its name and its cluster layout."""
+
+    __slots__ = ("name", "num_rings", "procs_per_ring", "gateway_degree")
+
+    def __init__(self, name, num_rings=1, procs_per_ring=10, gateway_degree=3):
+        if not isinstance(name, str) or not name:
+            raise WanConfigError("site name must be a non-empty string, got %r" % (name,))
+        self.name = name
+        self.num_rings = _checked_int("num_rings[%s]" % name, num_rings, 1, 4096)
+        self.procs_per_ring = _checked_int(
+            "procs_per_ring[%s]" % name, procs_per_ring, 1, 4096
+        )
+        self.gateway_degree = _checked_int(
+            "gateway_degree[%s]" % name, gateway_degree, 0, 4096
+        )
+
+    def __repr__(self):
+        return "SiteSpec(%r, %d rings x %d procs)" % (
+            self.name,
+            self.num_rings,
+            self.procs_per_ring,
+        )
+
+
+class WanConfig:
+    """Layout and survivability knobs of one multi-site federation.
+
+    ``sites`` is a list of :class:`SiteSpec` (or bare site names, which
+    take the default cluster shape).  ``latency``/``bandwidth_bps``/
+    ``loss_prob``/``loss_burst`` are either one scalar for every
+    directed link or a complete ``{(src, dst): value}`` matrix —
+    asymmetric routes are first-class, and a missing directed entry or
+    a negative value is rejected here by name.
+    """
+
+    def __init__(
+        self,
+        sites=("alpha", "beta"),
+        case=SurvivabilityCase.MAJORITY_VOTING,
+        replication_degree=3,
+        seed=0,
+        digest="md4",
+        modulus_bits=300,
+        messages_per_token_visit=6,
+        wan_gateway_degree=3,
+        latency=0.030,
+        bandwidth_bps=10_000_000,
+        loss_prob=0.0,
+        loss_burst=0.0,
+        header_bytes=58,
+    ):
+        self.sites = tuple(
+            spec if isinstance(spec, SiteSpec) else SiteSpec(spec) for spec in sites
+        )
+        if len(self.sites) < 2:
+            raise WanConfigError(
+                "a federation needs at least 2 sites, got %d" % len(self.sites)
+            )
+        names = [spec.name for spec in self.sites]
+        for name in names:
+            if names.count(name) > 1:
+                raise WanConfigError("duplicate site name %r" % name)
+        _checked_int("wan_gateway_degree", wan_gateway_degree, 1, 4096)
+        if case.voting and wan_gateway_degree < 3:
+            raise WanConfigError(
+                "a voting federation needs wan_gateway_degree >= 3 so a "
+                "majority of site-gateway copies masks one Byzantine replica "
+                "(got %d)" % wan_gateway_degree
+            )
+        self.case = case
+        self.replication_degree = replication_degree
+        self.seed = seed
+        self.digest = digest
+        self.modulus_bits = modulus_bits
+        self.messages_per_token_visit = messages_per_token_visit
+        self.wan_gateway_degree = wan_gateway_degree
+        self.latency = latency
+        self.bandwidth_bps = bandwidth_bps
+        self.loss_prob = loss_prob
+        self.loss_burst = loss_burst
+        self.header_bytes = header_bytes
+        # Probe the link matrices and per-site cluster layouts now:
+        # WanTopology rejects missing directed entries and negative
+        # values by name, ClusterConfig enforces the per-site gateway
+        # arithmetic — surfacing both here instead of deep in setup.
+        try:
+            self.topology()
+        except SimulationError as exc:
+            raise WanConfigError(str(exc))
+        try:
+            for index in range(len(self.sites)):
+                self.cluster_config(index)
+        except ClusterConfigError as exc:
+            raise WanConfigError(str(exc))
+
+    # ------------------------------------------------------------------
+    # derived layouts
+    # ------------------------------------------------------------------
+
+    def site_names(self):
+        return tuple(spec.name for spec in self.sites)
+
+    def site_index(self, name):
+        for index, spec in enumerate(self.sites):
+            if spec.name == name:
+                return index
+        raise WanConfigError(
+            "unknown site %r (federation has %s)" % (name, list(self.site_names()))
+        )
+
+    def pid_base(self, index):
+        """First global pid of site ``index``: sites stack disjointly."""
+        return sum(
+            spec.num_rings * spec.procs_per_ring for spec in self.sites[:index]
+        )
+
+    def ring_base(self, index):
+        """Cumulative ring count before site ``index`` — the first
+        globally-unique shard index of that site's rings."""
+        return sum(spec.num_rings for spec in self.sites[:index])
+
+    def cluster_config(self, index):
+        """The :class:`ClusterConfig` of one site, globally numbered."""
+        spec = self.sites[index]
+        return ClusterConfig(
+            num_rings=spec.num_rings,
+            procs_per_ring=spec.procs_per_ring,
+            gateway_degree=spec.gateway_degree,
+            case=self.case,
+            replication_degree=self.replication_degree,
+            seed=self.seed,
+            digest=self.digest,
+            modulus_bits=self.modulus_bits,
+            messages_per_token_visit=self.messages_per_token_visit,
+            pid_base=self.pid_base(index),
+            wan_gateway_degree=self.wan_gateway_degree,
+            site=spec.name,
+        )
+
+    def topology(self, fault_plan=None):
+        """A fresh :class:`~repro.sim.network.WanTopology` for a run."""
+        return WanTopology(
+            self.site_names(),
+            latency=self.latency,
+            bandwidth_bps=self.bandwidth_bps,
+            loss_prob=self.loss_prob,
+            loss_burst=self.loss_burst,
+            header_bytes=self.header_bytes,
+            fault_plan=fault_plan,
+        )
+
+    def __repr__(self):
+        return "WanConfig(%s, %s, wan_gateways=%d)" % (
+            "+".join(self.site_names()),
+            self.case.name,
+            self.wan_gateway_degree,
+        )

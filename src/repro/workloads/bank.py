@@ -187,11 +187,12 @@ class MultiBranchBank:
         if not ok(value):
             self.failed.append((label, value))
 
-    def schedule_deposit(self, at, branch, account, amount):
+    def schedule_deposit(self, at, branch, account, amount, stubs=None):
         label = "deposit:%s#%d+%d@%g" % (branch, account, amount, at)
+        stubs = self._stubs if stubs is None else stubs
 
         def fire():
-            for pid, stub in self._stubs[branch]:
+            for pid, stub in stubs[branch]:
                 stub.deposit(
                     account,
                     amount,
@@ -200,11 +201,12 @@ class MultiBranchBank:
 
         self.cluster.scheduler.at(at, fire, label="bank.deposit")
 
-    def schedule_withdraw(self, at, branch, account, amount):
+    def schedule_withdraw(self, at, branch, account, amount, stubs=None):
         label = "withdraw:%s#%d-%d@%g" % (branch, account, amount, at)
+        stubs = self._stubs if stubs is None else stubs
 
         def fire():
-            for pid, stub in self._stubs[branch]:
+            for pid, stub in stubs[branch]:
                 stub.withdraw(
                     account,
                     amount,
@@ -213,7 +215,9 @@ class MultiBranchBank:
 
         self.cluster.scheduler.at(at, fire, label="bank.withdraw")
 
-    def schedule_transfer(self, at, src_branch, src_account, dst_branch, dst_account, amount):
+    def schedule_transfer(
+        self, at, src_branch, src_account, dst_branch, dst_account, amount, stubs=None
+    ):
         """A cross-branch transfer: withdraw, then deposit on the reply.
 
         Each teller replica issues the deposit from its *own* withdraw
@@ -232,10 +236,11 @@ class MultiBranchBank:
         label = "transfer:%s#%d->%s#%d:%d@%g" % (
             src_branch, src_account, dst_branch, dst_account, amount, at,
         )
-        dst_stub_by_pid = dict(self._stubs[dst_branch])
+        stubs = self._stubs if stubs is None else stubs
+        dst_stub_by_pid = dict(stubs[dst_branch])
 
         def fire():
-            for pid, stub in self._stubs[src_branch]:
+            for pid, stub in stubs[src_branch]:
                 dst_stub = dst_stub_by_pid[pid]
 
                 def on_withdrawn(value, dst_stub=dst_stub):
@@ -291,3 +296,66 @@ class MultiBranchBank:
                 return False
             grand += per_replica.pop()
         return grand == self.expected_total()
+
+
+class GeoBank(MultiBranchBank):
+    """The bank at federation scale: branches pinned to *sites*.
+
+    The same invariants as :class:`MultiBranchBank`, one level up: a
+    transfer between branches on different sites is a cross-*site* flow
+    through the voted WAN gateways, so conservation now checks
+    site-gateway exactly-once end-to-end — through Byzantine
+    site-gateway replicas, partitions, and whole-site compromise.
+    Additional tellers (e.g. a rogue teller placed at a site that will
+    be compromised) come from :meth:`add_teller`; their operations ride
+    the inherited scheduling helpers via the ``stubs`` argument.
+    """
+
+    def __init__(
+        self,
+        wan,
+        branches=3,
+        accounts_per_branch=2,
+        initial_balance=100,
+        branch_sites=None,
+        teller_site=None,
+    ):
+        #: the federation facade; the inherited scheduling helpers only
+        #: use its ``scheduler``, so a WanManager drops straight in
+        self.cluster = wan
+        if isinstance(branches, int):
+            branches = ["branch%d" % i for i in range(branches)]
+        self.branch_names = list(branches)
+        self.accounts_per_branch = accounts_per_branch
+        self.initial_balance = initial_balance
+        branch_sites = branch_sites or {}
+
+        def factory(pid):
+            servant = BankServant()
+            for k in range(accounts_per_branch):
+                servant.open_account("acct%d" % k, initial_balance)
+            return servant
+
+        self.branches = {}
+        for name in self.branch_names:
+            self.branches[name] = wan.deploy(
+                "bank.%s" % name, BANK_IDL, factory, site=branch_sites.get(name)
+            )
+        self.teller = wan.deploy_client("bank.teller", site=teller_site)
+        self._stubs = {
+            name: wan.client_stubs(self.teller, BANK_IDL, handle)
+            for name, handle in self.branches.items()
+        }
+        self.replies = []
+        self.failed = []
+
+    def add_teller(self, group_name, site):
+        """Deploy another replicated teller; returns (handle, stubs)
+        where ``stubs`` plugs into the scheduling helpers' ``stubs``
+        argument."""
+        handle = self.cluster.deploy_client(group_name, site=site)
+        stubs = {
+            name: self.cluster.client_stubs(handle, BANK_IDL, branch)
+            for name, branch in self.branches.items()
+        }
+        return handle, stubs

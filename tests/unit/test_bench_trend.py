@@ -70,6 +70,56 @@ def test_unrecognised_artifact_is_listed_not_fatal(tmp_path):
     assert "no recognised headline" in render_table(entries)
 
 
+def test_self_describing_headline_needs_no_code_changes(tmp_path):
+    # A future artifact carrying its own headline rows (the BENCH_wan
+    # convention) is picked up by the fallback extractor: rows render,
+    # gates count, sort order stays stable — no per-bench code needed.
+    seed_artifacts(tmp_path)
+    write(tmp_path, "BENCH_wan.json", {
+        "bench": "wan-federation",
+        "ok": True,
+        "headline": [
+            {"metric": "worst local p50 deviation vs baseline",
+             "value": 0.0001, "unit": "fraction", "gate": "<= 0.05",
+             "ok": True},
+            {"metric": "geo-bank conserved through site compromise",
+             "value": 1, "unit": "bool", "gate": "== 1", "ok": True},
+            {"metric": "malformed row without a metric"},
+        ],
+    })
+    entries = collect(str(tmp_path))
+    assert [e["file"] for e in entries] == [
+        "BENCH_pr2.json", "BENCH_pr5.json", "BENCH_pr7.json",
+        "BENCH_wan.json",
+    ]
+    wan = next(e for e in entries if e["file"] == "BENCH_wan.json")
+    assert [row["metric"] for row in wan["rows"]] == [
+        "worst local p50 deviation vs baseline",
+        "geo-bank conserved through site compromise",
+    ]
+    report = build_report(entries)
+    assert report["all_gates_ok"] is True
+    table = render_table(entries)
+    assert "BENCH_wan.json" in table
+    assert "worst local p50 deviation" in table
+    assert "<= 0.05" in table  # string gates render verbatim
+
+
+def test_self_describing_headline_gate_failure_counts(tmp_path):
+    seed_artifacts(tmp_path)
+    write(tmp_path, "BENCH_wan.json", {
+        "bench": "wan-federation",
+        "headline": [
+            {"metric": "worst local p50 deviation vs baseline",
+             "value": 0.2, "unit": "fraction", "gate": "<= 0.05",
+             "ok": False},
+        ],
+    })
+    entries = collect(str(tmp_path))
+    assert build_report(entries)["all_gates_ok"] is False
+    assert main(["--dir", str(tmp_path), "--no-write"]) == 1
+
+
 def test_unparsable_artifact_raises(tmp_path):
     (tmp_path / "BENCH_bad.json").write_text("{nope")
     with pytest.raises(TrendInputError, match="BENCH_bad.json"):
