@@ -67,6 +67,9 @@ class _DirectionalForwarder:
         self.dst_ring = dst_ring
         self.src_pid = src_pid
         self.dst_pid = dst_pid
+        #: directed Byzantine toggle: corrupts this direction only (the
+        #: replica-wide ``corrupt`` flag covers both directions)
+        self.corrupt = False
         cluster = self.link.cluster
         self._src_immune = cluster.rings[src_ring]
         self._dst_immune = cluster.rings[dst_ring]
@@ -148,7 +151,8 @@ class _DirectionalForwarder:
 
     def _forward(self, message, body, op_key):
         self._src_proc.charge(GATEWAY_FORWARD_COST, "gateway.forward")
-        if self.replica.corrupt:
+        corrupt = self.corrupt or self.replica.corrupt
+        if corrupt:
             # The Byzantine gateway drill: this replica forwards a
             # corrupted copy, which the destination ring outvotes.
             body = _corrupted(body)
@@ -180,7 +184,7 @@ class _DirectionalForwarder:
             # copy/vote nodes merge the branches back together.
             self._tracer.gateway_forwarded(
                 trace_key, phase, self.dst_pid,
-                self.src_ring, self.dst_ring, bool(self.replica.corrupt),
+                self.src_ring, self.dst_ring, corrupt,
             )
             self._tracer.register_payload(
                 encoded, trace_key, phase, ("gw_forward", phase, self.dst_pid)
@@ -195,7 +199,7 @@ class _DirectionalForwarder:
                 from_ring=self.src_ring,
                 to_ring=self.dst_ring,
                 via=(self.src_pid, self.dst_pid),
-                corrupt=bool(self.replica.corrupt),
+                corrupt=corrupt,
             )
         self._dst_endpoint.multicast(message.target_group, encoded)
 
@@ -218,6 +222,16 @@ class GatewayReplica:
         self.forward_ba = _DirectionalForwarder(
             self, link.ring_b, link.ring_a, pid_b, pid_a
         )
+
+    def corrupt_direction(self, src_ring):
+        """Corrupt only the direction whose *source* is ``src_ring``;
+        returns the destination-facing pid (the one the destination
+        ring's divergence detector can convict)."""
+        forwarder = (
+            self.forward_ab if src_ring == self.link.ring_a else self.forward_ba
+        )
+        forwarder.corrupt = True
+        return forwarder.dst_pid
 
     def stats(self):
         return {

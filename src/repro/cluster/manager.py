@@ -45,6 +45,18 @@ class ClusterDirectory:
             raise ClusterConfigError("group %r already bound" % group_name)
         self._entries[group_name] = (ring, tuple(procs))
 
+    def rehome(self, group_name, ring, procs):
+        """Atomically repoint a bound group (live migration cutover).
+
+        The gateway forwarders consult :meth:`home_ring` at delivery
+        time, so a rehome instantly re-routes cross-ring traffic toward
+        the new home — no per-link reconfiguration step exists to get
+        half-done.
+        """
+        if group_name not in self._entries:
+            raise ClusterConfigError("group %r was never bound" % group_name)
+        self._entries[group_name] = (ring, tuple(procs))
+
     def home_ring(self, group_name):
         entry = self._entries.get(group_name)
         return None if entry is None else entry[0]
@@ -148,6 +160,8 @@ class ClusterManager:
 
         self.rings = []
         self._ring_obs = []
+        self._net_params = net_params
+        self._trace_kinds = trace_kinds
         fault_plans = fault_plans or {}
         for ring_index in range(self.config.num_rings):
             ring_obs = (
@@ -318,32 +332,120 @@ class ClusterManager:
         return ClusterHandle(self.rings[ring].group(group_name), ring)
 
     # ------------------------------------------------------------------
+    # elasticity: runtime ring growth and rebalance scheduling
+    # ------------------------------------------------------------------
+
+    def add_ring(self):
+        """Create a brand-new ring at runtime (an autoscaling split target).
+
+        Builds the ring's full stack — scoped observability, an
+        :class:`~repro.core.immune.ImmuneSystem` on the shared
+        scheduler/keystore, gateway links to every existing ring — and
+        registers every already-bound group as foreign on it so its
+        future clients route through the gateways immediately.  Needs a
+        configuration that reserves processor-id headroom for growth
+        (:class:`repro.elastic.ElasticConfig`).
+        """
+        grow = getattr(self.config, "grow_ring", None)
+        if grow is None:
+            raise ClusterConfigError(
+                "runtime ring growth needs an elastic configuration "
+                "(repro.elastic.ElasticConfig)"
+            )
+        ring_index = grow()
+        ring_obs = (
+            RingObservability(
+                self.obs,
+                ring_index,
+                site=self.site,
+                shard=self.ring_base + ring_index,
+            )
+            if self.obs is not None
+            else None
+        )
+        immune = ImmuneSystem(
+            self.config.procs_per_ring,
+            config=self.config.ring_config(ring_index),
+            net_params=self._net_params,
+            trace_kinds=self._trace_kinds,
+            obs=ring_obs,
+            scheduler=self.scheduler,
+            proc_ids=self.config.ring_pids(ring_index),
+            keystore=self.keystore,
+            streams=self.streams.spawn("ring%d" % ring_index),
+        )
+        self.rings.append(immune)
+        self._ring_obs.append(ring_obs)
+        self.processors.update(immune.processors)
+        for other in range(ring_index):
+            pairs = list(
+                zip(
+                    self.config.gateway_pids(other),
+                    self.config.gateway_pids(ring_index),
+                )
+            )
+            self.links[(other, ring_index)] = GatewayLink(
+                self, other, ring_index, pairs
+            )
+        # Every group bound so far becomes foreign on the new ring: its
+        # members there are the new ring's gateway pids toward the home
+        # ring, so voters mask a Byzantine gateway from day one.
+        for group_name in self.directory.groups():
+            home = self.directory.home_ring(group_name)
+            link = self.links[(min(home, ring_index), max(home, ring_index))]
+            members = link.side_pids(ring_index)
+            for manager in immune.managers.values():
+                manager.register_group(group_name, members)
+        self.placement.add_ring(ring_index)
+        if self._started:
+            immune.start()
+        return ring_index
+
+    def rebalance_delta(self, new_layout):
+        """The migrations separating the recorded layout from ``new_layout``."""
+        return self.placement.rebalance_delta(self.placement.layout(), new_layout)
+
+    # ------------------------------------------------------------------
     # gateway fault injection (drills and the bench's Byzantine section)
     # ------------------------------------------------------------------
 
-    def corrupt_gateway(self, ring_a, ring_b, index=0, at_time=None):
+    def corrupt_gateway(self, ring_a, ring_b, index=0, at_time=None,
+                        direction=None):
         """Make one gateway replica of a link Byzantine.
 
         With ``at_time`` the corruption is armed through the scheduler;
-        otherwise it is immediate.  Ground truth is recorded against the
-        replica's pid on the *destination-facing* side of each ring it
-        feeds, under the ``value_fault`` kind the scorecard attributes.
+        otherwise it is immediate.  ``direction`` (a ring index) limits
+        the corruption to the direction whose *source* is that ring —
+        replies flowing the other way stay honest.  Ground truth is
+        recorded against the replica's pid on the *destination-facing*
+        side of each ring it feeds (only that direction's pid when
+        directed), under the ``value_fault`` kind the scorecard
+        attributes.
         """
         link = self.links[(min(ring_a, ring_b), max(ring_a, ring_b))]
         replica = link.replicas[index]
-        if at_time is None:
-            replica.corrupt = True
+        if direction is None:
+            arm = lambda: setattr(replica, "corrupt", True)
+            culprits = (replica.pid_a, replica.pid_b)
         else:
-            self.scheduler.at(
-                at_time,
-                lambda: setattr(replica, "corrupt", True),
-                label="gateway.corrupt",
+            if direction not in (link.ring_a, link.ring_b):
+                raise ClusterConfigError(
+                    "direction %r is not a ring of link %d-%d"
+                    % (direction, link.ring_a, link.ring_b)
+                )
+            arm = lambda: replica.corrupt_direction(direction)
+            culprits = (
+                replica.pid_b if direction == link.ring_a else replica.pid_a,
             )
+        if at_time is None:
+            arm()
+        else:
+            self.scheduler.at(at_time, arm, label="gateway.corrupt")
         if self.obs is not None and self.obs.forensics is not None:
             from repro.obs.forensics import fault_id_for
 
             when = at_time if at_time is not None else self.scheduler.now
-            for pid in (replica.pid_a, replica.pid_b):
+            for pid in culprits:
                 self.obs.forensics.record_ground_truth(
                     fault_id_for("value_fault", pid, when), "value_fault", pid, when
                 )

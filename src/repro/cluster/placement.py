@@ -105,9 +105,13 @@ class PlacementEngine:
     # the mapping
     # ------------------------------------------------------------------
 
-    def choose_ring(self, group_name):
-        """The ring ``group_name`` maps onto (without recording it)."""
-        rings = range(self.config.num_rings)
+    def choose_ring(self, group_name, rings=None):
+        """The ring ``group_name`` maps onto (without recording it).
+
+        ``rings`` restricts the candidate set — the autoscaler proposes
+        layouts over the currently active rings only.
+        """
+        rings = range(self.config.num_rings) if rings is None else sorted(rings)
         if self.mode == "balanced":
             return min(
                 rings,
@@ -168,6 +172,65 @@ class PlacementEngine:
         self.placements[group_name] = placement
         self.load[ring] += degree
         return placement
+
+    # ------------------------------------------------------------------
+    # elasticity: ring growth, migration bookkeeping, rebalance deltas
+    # ------------------------------------------------------------------
+
+    def add_ring(self, ring):
+        """Start accounting load for a ring created at runtime."""
+        self.load.setdefault(ring, 0)
+
+    def move(self, group_name, ring, procs):
+        """Re-record a placed group after a live migration cutover."""
+        placement = self.placements.get(group_name)
+        if placement is None:
+            raise ClusterConfigError("group %r was never placed" % group_name)
+        self.load[placement.ring] -= len(placement.procs)
+        self.placements[group_name] = Placement(group_name, ring, procs)
+        self.load.setdefault(ring, 0)
+        self.load[ring] += len(procs)
+        return self.placements[group_name]
+
+    def layout(self):
+        """The current group -> ring mapping (a rebalance-delta input)."""
+        return {name: p.ring for name, p in self.placements.items()}
+
+    @staticmethod
+    def rebalance_delta(old_layout, new_layout):
+        """The deterministic move list between two group -> ring layouts.
+
+        Returns ``[(group, old_ring, new_ring)]`` sorted by group name:
+        exactly the groups whose ring changed, in a stable order — the
+        migration schedule the autoscaler executes.  Groups present in
+        only one layout are ignored (deploys and retirements are not
+        migrations).
+        """
+        moves = []
+        for name in sorted(set(old_layout) & set(new_layout)):
+            if old_layout[name] != new_layout[name]:
+                moves.append((name, old_layout[name], new_layout[name]))
+        return moves
+
+    def propose_layout(self, rings, migratable):
+        """A rendezvous layout of ``migratable`` groups over ``rings``.
+
+        Pure rendezvous choice regardless of the engine's mode: the
+        proposal must be a function of (group, rings, salt) alone so
+        that repeated autoscaler decisions over the same active set are
+        stable (no oscillating migrations).
+        """
+        rings = sorted(rings)
+        return {
+            name: max(
+                rings,
+                key=lambda r: (
+                    rendezvous_score(name, "ring:%d" % r, self.salt),
+                    -r,
+                ),
+            )
+            for name in migratable
+        }
 
     # ------------------------------------------------------------------
     # reporting

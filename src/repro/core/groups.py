@@ -91,6 +91,25 @@ class ObjectGroupTable:
         self._groups[group_name] = proc_ids
         self._notify(group_name)
 
+    def replace(self, group_name, proc_ids):
+        """Atomically install a new replica placement for a group.
+
+        A live migration rewrites the placement in one step — listeners
+        see a single change to the final membership rather than a
+        remove/add sequence that would transiently drop the group below
+        its voting threshold.  Creates the group if it does not exist.
+        """
+        proc_ids = tuple(sorted(proc_ids))
+        if len(set(proc_ids)) != len(proc_ids):
+            raise GroupError(
+                "at most one replica of %r per processor (got %r)"
+                % (group_name, proc_ids)
+            )
+        if self._groups.get(group_name) == proc_ids:
+            return
+        self._groups[group_name] = proc_ids
+        self._notify(group_name)
+
     def add_replica(self, group_name, proc_id):
         members = self._groups.get(group_name, ())
         if proc_id in members:

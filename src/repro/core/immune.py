@@ -309,6 +309,135 @@ class ImmuneSystem:
         return self
 
     # ------------------------------------------------------------------
+    # elasticity: runtime churn and live group migration
+    # ------------------------------------------------------------------
+
+    def add_processor(self, pid):
+        """Wire a brand-new processor into a live deployment (churn).
+
+        Builds the full per-processor stack — simulated host, ORB,
+        Secure Multicast endpoint, Replication Manager — exactly as the
+        constructor does, but at runtime.  The keystore provisions the
+        new principal's keypair lazily.  The caller admits the
+        processor to the ring afterwards (see :meth:`join_processor`).
+        """
+        if not self.config.case.replicated:
+            raise ConfigError("runtime churn needs a replicated case")
+        if pid in self.processors:
+            raise ConfigError("processor %d already exists" % pid)
+        processor = Processor(pid, self.scheduler)
+        self.network.add_processor(processor)
+        self.processors[pid] = processor
+        batching = self.config.batching
+        orb = Orb(
+            processor,
+            self.scheduler,
+            cost_model=self.config.orb_costs,
+            batching=BatchingPolicy(batching.max_messages, batching.window),
+            trace=self.trace,
+        )
+        self.orbs[pid] = orb
+        endpoint = SecureGroupEndpoint(
+            processor,
+            self.scheduler,
+            self.network,
+            self.keystore,
+            self.config.crypto_costs,
+            self.config.multicast,
+            self.trace,
+            obs=self.obs,
+        )
+        manager = ReplicationManager(
+            processor,
+            self.scheduler,
+            endpoint,
+            self.config,
+            self.trace,
+            obs=self.obs,
+        )
+        orb.set_transport(ImmuneInterceptor(manager))
+        self.endpoints[pid] = endpoint
+        self.managers[pid] = manager
+        return processor
+
+    def join_processor(self, pid):
+        """Grow the deployment: wire ``pid`` and admit it to the ring.
+
+        The admission itself is membership-protocol-driven — a signed
+        join request, proposal and commit rounds, and an installation
+        that re-derives the token-rotation timeouts for the larger
+        population.  Once the new member sees itself installed, its
+        (empty) object group table is resynced from the lowest correct
+        donor so later migrations can target it.
+        """
+        self.add_processor(pid)
+        endpoint = self.endpoints[pid]
+        manager = self.managers[pid]
+        synced = {"done": False}
+
+        def maybe_sync(ring_id, members, excluded):
+            if synced["done"] or pid not in members:
+                return
+            synced["done"] = True
+            donor = next(
+                (
+                    other
+                    for other in sorted(self.managers)
+                    if other != pid and not self.processors[other].crashed
+                ),
+                None,
+            )
+            if donor is not None:
+                manager.resync_groups(self.managers[donor].groups.snapshot())
+
+        endpoint.on_membership_change(maybe_sync)
+        endpoint.request_join()
+        return self.processors[pid]
+
+    def export_group(self, group_name):
+        """Withdraw a migrating group from this deployment (cutover).
+
+        Deactivates its servants and drops replica hosting on the old
+        processors, and removes the local handle.  The group-table
+        rewrite is the coordinator's job (every Replication Manager of
+        every ring sees the same :meth:`~repro.core.manager.ReplicationManager.reregister_group`).
+        """
+        handle = self._groups.pop(group_name)
+        for pid in handle.replica_procs:
+            orb = self.orbs.get(pid)
+            if orb is not None:
+                orb.adapter.deactivate(group_name)
+            manager = self.managers.get(pid)
+            if manager is not None:
+                manager.drop_replica(group_name)
+        return handle
+
+    def adopt_group(self, handle, on_procs, servant_from_state, state_bytes,
+                    op_counter=0):
+        """Install a migrating group on this deployment (cutover).
+
+        ``servant_from_state(state_bytes)`` builds one replica per new
+        host from the transferred checkpoint; the transferred operation
+        counter keeps the group's outbound numbering monotonic across
+        the move.
+        """
+        on_procs = tuple(sorted(on_procs))
+        servants = {}
+        for pid in on_procs:
+            servant = servant_from_state(state_bytes)
+            self.orbs[pid].register_servant(
+                handle.group_name, servant, handle.interface
+            )
+            servants[pid] = servant
+            manager = self.managers[pid]
+            manager.host_replica(handle.group_name)
+            manager.restore_op_counter(handle.group_name, op_counter)
+        handle.replica_procs = on_procs
+        handle.servants = servants
+        self._groups[handle.group_name] = handle
+        return handle
+
+    # ------------------------------------------------------------------
     # recovery: reallocating lost replicas (section 3.1)
     # ------------------------------------------------------------------
 

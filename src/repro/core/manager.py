@@ -83,6 +83,16 @@ class ReplicationManager:
         self._passive_sources = set()
         self._op_counters = {}
         self._reply_map = {}
+        #: elastic live migration: groups whose outbound invocations are
+        #: parked (target group -> hold), and the parked frames in
+        #: interception order
+        self._held_groups = set()
+        self._held_buffers = {}
+        #: two-way invocations multicast but not yet answered:
+        #: (source_group, op_num) -> target group.  Only *multicast*
+        #: work counts (held frames are not pending), so a migration
+        #: coordinator can drain a group to quiescence by watching this.
+        self._pending_targets = {}
         #: listeners for processor exclusions (the facade's reallocation
         #: policy hangs off this): fn(excluded_pid, affected_groups)
         self._exclusion_listeners = []
@@ -196,6 +206,57 @@ class ReplicationManager:
         for voter in self._voters.values():
             voter._groups = self.groups
 
+    def reregister_group(self, group_name, proc_ids):
+        """Atomically rewrite a group's replica placement (migration cutover)."""
+        self.groups.replace(group_name, proc_ids)
+
+    # ------------------------------------------------------------------
+    # elastic live migration: holds and drain accounting
+    # ------------------------------------------------------------------
+
+    def hold_group(self, group_name):
+        """Park outbound invocations addressed to ``group_name``.
+
+        Interception still runs to completion (op numbers are identity,
+        not ordering, so assigning them under a hold is safe) but the
+        multicast is deferred until :meth:`release_group`, keeping the
+        migrating group's delivery pipeline drainable.
+        """
+        self._held_groups.add(group_name)
+        self._held_buffers.setdefault(group_name, [])
+
+    def release_group(self, group_name):
+        """Release a hold and multicast the parked frames in order."""
+        self._held_groups.discard(group_name)
+        for key, target_group, encoded, response_expected in self._held_buffers.pop(
+            group_name, []
+        ):
+            # Marked at release: the intercepted->migration_held delta
+            # prices the hold and is attributed to the migration cause.
+            self._mark_stage(key, "migration_held")
+            if response_expected:
+                self._pending_targets[key] = target_group
+            self.endpoint.multicast(target_group, encoded)
+            self._mark_stage(key, "multicast_queued")
+
+    def pending_to(self, group_name):
+        """Two-way invocations in flight toward ``group_name`` from here."""
+        return sum(1 for g in self._pending_targets.values() if g == group_name)
+
+    def held_for(self, group_name):
+        """Frames parked for ``group_name`` by a live-migration hold."""
+        return len(self._held_buffers.get(group_name, ()))
+
+    def capture_state(self, group_name):
+        """Checkpoint a locally hosted group (migration state transfer)."""
+        return self._capture_state(group_name)
+
+    def restore_op_counter(self, group_name, value):
+        """Install a transferred operation counter on an adopting host."""
+        self._op_counters[group_name] = max(
+            self._op_counters.get(group_name, 0), value
+        )
+
     def voter_for(self, group_name):
         return self._voters.get(group_name)
 
@@ -285,6 +346,18 @@ class ReplicationManager:
                 encoded, (source_group, op_num), "req",
                 ("stage", "multicast_queued"),
             )
+        if reference.group_name in self._held_groups:
+            self._held_buffers[reference.group_name].append(
+                (
+                    (source_group, op_num),
+                    reference.group_name,
+                    encoded,
+                    message.response_expected,
+                )
+            )
+            return
+        if message.response_expected:
+            self._pending_targets[(source_group, op_num)] = reference.group_name
         self.endpoint.multicast(reference.group_name, encoded)
         self._mark_stage((source_group, op_num), "multicast_queued")
 
@@ -416,6 +489,7 @@ class ReplicationManager:
             return
         # A voted response: correlate back to this replica's original
         # GIOP request id before handing it to the ORB.
+        self._pending_targets.pop((message.target_group, message.op_num), None)
         original_id = self._reply_map.pop(
             (message.target_group, message.op_num), None
         )

@@ -1,0 +1,39 @@
+"""Elasticity: runtime churn, live migration, and autoscaling.
+
+The paper's Immune System assumes a fixed processor population per
+SecureRing; this package lets a cluster grow, shrink, and rebalance
+while invocations are in flight:
+
+* **runtime churn** — processors join and leave a live ring through
+  the membership protocol itself (signed join requests, proposal and
+  commit rounds), with keys provisioned, the detector populated, and
+  the token-rotation timeouts re-derived for the installed population;
+* **live object-group migration** — a replicated group moves between
+  rings with zero dropped and zero duplicated invocations: outbound
+  work toward the group is held, in-flight work drains to quiescence,
+  state transfers under a migration epoch, and placement cuts over
+  atomically (the gateway forwarders re-route on the directory rehome
+  in the same instant);
+* **autoscaling** — an :class:`~repro.elastic.autoscaler.Autoscaler`
+  fed from the :mod:`repro.obs.series` utilisation curves splits a hot
+  ring into two and merges cold rings, rebalancing groups along
+  rendezvous placement deltas.
+
+Everything stays deterministic: decisions fire at fixed simulated
+periods on seeded metric values, so two runs of one seed scale, churn,
+and migrate identically.
+"""
+
+from repro.elastic.autoscaler import Autoscaler, AutoscalerPolicy
+from repro.elastic.config import ElasticConfig
+from repro.elastic.manager import ElasticCluster
+from repro.elastic.migration import MigrationCoordinator, MigrationError
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerPolicy",
+    "ElasticCluster",
+    "ElasticConfig",
+    "MigrationCoordinator",
+    "MigrationError",
+]

@@ -1,0 +1,210 @@
+"""Load-driven ring splits and merges over the live telemetry curves.
+
+The :class:`Autoscaler` rides the shared scheduler at a fixed decision
+period and reads per-ring delivered-invocation rates from a
+:class:`~repro.obs.series.SeriesSampler` (the ``rm.delivered_to_orb``
+family carries a ``ring=`` label on every clustered deployment).  Two
+actions:
+
+* **split** — when the hottest active ring's rate crosses
+  ``split_threshold`` and the configuration has growth headroom, a new
+  ring is created and the hot ring's migratable groups are rebalanced
+  between the two along the deterministic rendezvous proposal
+  (:meth:`~repro.cluster.placement.PlacementEngine.propose_layout` +
+  :meth:`~repro.cluster.placement.PlacementEngine.rebalance_delta`);
+* **merge** — when the two coldest active rings together stay under
+  ``merge_threshold``, the coldest ring's groups migrate onto the
+  other and the emptied ring is retired from the active set (its
+  membership keeps running — a retired ring is a warm spare the next
+  split can reuse before growing the configuration).
+
+Every decision is a pure function of simulated time and seeded metric
+values, so autoscaling reproduces byte-identically across runs and perf
+modes.  Decisions are skipped while a migration epoch is in flight and
+during the post-action cooldown, which keeps the migration schedule
+serial and prevents oscillation.
+"""
+
+
+class AutoscalerPolicy:
+    """The thresholds and pacing of one autoscaler."""
+
+    def __init__(
+        self,
+        decision_period=0.25,
+        window=0.25,
+        split_threshold=100.0,
+        merge_threshold=10.0,
+        cooldown=0.75,
+        min_rings=1,
+        signal_family="rm.delivered_to_orb",
+    ):
+        if window <= 0.0 or decision_period <= 0.0:
+            raise ValueError("decision_period and window must be positive")
+        if merge_threshold >= split_threshold:
+            raise ValueError(
+                "merge_threshold %r must stay below split_threshold %r or "
+                "the autoscaler oscillates" % (merge_threshold, split_threshold)
+            )
+        self.decision_period = decision_period
+        self.window = window
+        self.split_threshold = split_threshold
+        self.merge_threshold = merge_threshold
+        self.cooldown = cooldown
+        self.min_rings = min_rings
+        self.signal_family = signal_family
+
+
+class Autoscaler:
+    """Splits hot rings and merges cold ones, deterministically."""
+
+    def __init__(self, cluster, coordinator, sampler, policy=None):
+        self.cluster = cluster
+        self.coordinator = coordinator
+        self.sampler = sampler
+        self.policy = policy or AutoscalerPolicy()
+        self._handle = None
+        self._last_action = None
+        #: decision log for reports: (time, action, detail) tuples
+        self.decisions = []
+        obs = cluster.obs
+        if obs is not None:
+            registry = obs.registry
+            self._m_decisions = registry.counter("elastic.autoscaler_decisions")
+            self._m_splits = registry.counter("elastic.splits")
+            self._m_merges = registry.counter("elastic.merges")
+            self._m_active = registry.gauge("elastic.active_rings")
+            self._m_active.set(len(cluster.active_rings))
+        else:
+            self._m_decisions = None
+            self._m_splits = None
+            self._m_merges = None
+            self._m_active = None
+
+    def start(self):
+        """Arm the periodic decision loop on the cluster's scheduler."""
+        if self._handle is None:
+            self._handle = self.cluster.scheduler.every(
+                self.policy.decision_period, self._decide, label="elastic.autoscale"
+            )
+        return self
+
+    def stop(self):
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    # the signal
+    # ------------------------------------------------------------------
+
+    def ring_rates(self):
+        """Per-active-ring delivered-invocation rates over the window."""
+        now = self.cluster.scheduler.now
+        t0 = now - self.policy.window
+        rates = {ring: 0.0 for ring in sorted(self.cluster.active_rings)}
+        for series in self.sampler.family(self.policy.signal_family):
+            ring = dict(series.labels).get("ring")
+            if ring is None:
+                continue
+            ring = int(ring)
+            if ring in rates:
+                rates[ring] += series.delta(t0, now) / self.policy.window
+        return rates
+
+    # ------------------------------------------------------------------
+    # the decision loop
+    # ------------------------------------------------------------------
+
+    def _decide(self):
+        if self._m_decisions is not None:
+            self._m_decisions.inc()
+        if self.coordinator.busy:
+            return  # one reconfiguration at a time
+        now = self.cluster.scheduler.now
+        if (
+            self._last_action is not None
+            and now - self._last_action < self.policy.cooldown
+        ):
+            return
+        rates = self.ring_rates()
+        if not rates:
+            return
+        # Hottest first; ties break toward the lower ring index so the
+        # choice is a pure function of the (deterministic) rates.
+        ranked = sorted(rates, key=lambda r: (-rates[r], r))
+        hottest = ranked[0]
+        if rates[hottest] >= self.policy.split_threshold:
+            self._split(hottest, now)
+            return
+        if len(ranked) > self.policy.min_rings:
+            coldest = ranked[-1]
+            second = ranked[-2]
+            if rates[coldest] + rates[second] <= self.policy.merge_threshold:
+                self._merge(coldest, second, now)
+
+    def _split(self, hot_ring, now):
+        cluster = self.cluster
+        movable = cluster.migratable_groups(hot_ring)
+        if not movable:
+            return  # nothing this split could rebalance
+        spare = sorted(
+            set(range(cluster.config.num_rings)) - cluster.active_rings
+        )
+        if spare:
+            new_ring = spare[0]  # reuse a ring retired by a merge
+            cluster.active_rings.add(new_ring)
+        elif cluster.config.can_grow():
+            new_ring = cluster.add_ring()
+            cluster.active_rings.add(new_ring)
+        else:
+            return  # at max_rings with no spares: nothing to split onto
+        proposal = cluster.placement.propose_layout([hot_ring, new_ring], movable)
+        moves = [
+            (group, hot_ring, new_ring)
+            for group, _, ring in cluster.rebalance_delta(proposal)
+            if ring == new_ring
+        ]
+        if not moves:
+            # Degenerate rendezvous outcome (every group preferred the
+            # old ring): force the lexicographically last group over so
+            # a split always relieves the hot ring.
+            moves = [(sorted(movable)[-1], hot_ring, new_ring)]
+        for group, _, dst in moves:
+            self.coordinator.migrate(group, dst)
+        self._acted(now, "split", {
+            "hot_ring": hot_ring,
+            "new_ring": new_ring,
+            "groups": sorted(g for g, _, _ in moves),
+        })
+        if self._m_splits is not None:
+            self._m_splits.inc()
+
+    def _merge(self, cold_ring, into_ring, now):
+        cluster = self.cluster
+        movable = cluster.migratable_groups(cold_ring)
+        for group in movable:
+            self.coordinator.migrate(group, into_ring)
+        cluster.active_rings.discard(cold_ring)
+        self._acted(now, "merge", {
+            "cold_ring": cold_ring,
+            "into_ring": into_ring,
+            "groups": sorted(movable),
+        })
+        if self._m_merges is not None:
+            self._m_merges.inc()
+
+    def _acted(self, now, action, detail):
+        self._last_action = now
+        self.decisions.append((now, action, detail))
+        if self._m_active is not None:
+            self._m_active.set(len(self.cluster.active_rings))
+        obs = self.cluster.obs
+        if obs is not None and obs.forensics is not None:
+            anchor = self.cluster.config.ring_pids(0)[0]
+            obs.forensics.recorder(anchor).record(
+                "autoscale_" + action, **{
+                    key: value if not isinstance(value, list) else tuple(value)
+                    for key, value in detail.items()
+                }
+            )

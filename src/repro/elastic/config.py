@@ -1,0 +1,108 @@
+"""Elastic cluster configuration: a layout that can grow at runtime.
+
+An :class:`ElasticConfig` is a :class:`~repro.cluster.config.
+ClusterConfig` that reserves headroom for growth up front:
+
+* processor-id blocks for ``max_rings`` rings are reserved from the
+  start, so a ring created mid-run gets the same pids it would have had
+  at deploy time;
+* the gateway reservation survives a single-ring start — a plain
+  ``ClusterConfig`` zeroes ``gateway_degree`` when ``num_rings == 1``,
+  but an elastic cluster that starts on one ring will split, and its
+  placement must keep the future gateway hosts free of application
+  replicas from day one (or the first split would have to evict them);
+* the multi-ring resilience rules (replicated case, at least three
+  voting gateways) are validated against ``max_rings`` immediately:
+  a configuration that could never legally split fails at construction,
+  not at the first autoscaling decision;
+* churn pids are allocated from a dedicated block *above* every ring's
+  reserved range, so a processor added to ring 2 can never collide with
+  (or be mistaken for) a future ring-3 host.
+"""
+
+from repro.cluster.config import ClusterConfig, ClusterConfigError, _checked_int
+
+
+class ElasticConfig(ClusterConfig):
+    """A cluster layout with runtime growth headroom."""
+
+    def __init__(self, initial_rings=1, max_rings=4, **kwargs):
+        _checked_int("initial_rings", initial_rings, 1, 4096)
+        _checked_int("max_rings", max_rings, 1, 4096)
+        if initial_rings > max_rings:
+            raise ClusterConfigError(
+                "initial_rings %d exceeds max_rings %d"
+                % (initial_rings, max_rings)
+            )
+        if "num_rings" in kwargs:
+            raise ClusterConfigError(
+                "an elastic cluster is sized by initial_rings/max_rings, "
+                "not num_rings"
+            )
+        # Validate as if every ring already existed: the multi-ring
+        # rules (replicated case, >= 3 voting gateways, degree fits the
+        # ring) must hold for the grown cluster, and validating at
+        # max_rings also keeps gateway_degree reserved even when the
+        # cluster starts on a single ring.
+        super().__init__(num_rings=max_rings, **kwargs)
+        self.max_rings = max_rings
+        self.num_rings = initial_rings
+        #: churn pids handed out so far: pid -> ring index
+        self._churn_pids = {}
+        self._next_churn_pid = (
+            self.pid_base + self.max_rings * self.procs_per_ring
+        )
+
+    # ------------------------------------------------------------------
+    # growth
+    # ------------------------------------------------------------------
+
+    def can_grow(self):
+        return self.num_rings < self.max_rings
+
+    def grow_ring(self):
+        """Activate the next reserved ring; returns its index."""
+        if not self.can_grow():
+            raise ClusterConfigError(
+                "cluster is at max_rings=%d already" % self.max_rings
+            )
+        ring_index = self.num_rings
+        self.num_rings += 1
+        return ring_index
+
+    # ------------------------------------------------------------------
+    # churn pids: above every reserved ring block
+    # ------------------------------------------------------------------
+
+    def allocate_churn_pid(self, ring_index):
+        """A fresh globally-unique pid for a processor joining ``ring_index``."""
+        self._check_ring(ring_index)
+        pid = self._next_churn_pid
+        self._next_churn_pid += 1
+        self._churn_pids[pid] = ring_index
+        return pid
+
+    def churn_pids(self, ring_index=None):
+        """Churn pids allocated so far (optionally for one ring)."""
+        return tuple(
+            sorted(
+                pid
+                for pid, ring in self._churn_pids.items()
+                if ring_index is None or ring == ring_index
+            )
+        )
+
+    def ring_of_pid(self, pid):
+        ring = self._churn_pids.get(pid)
+        if ring is not None:
+            return ring
+        return super().ring_of_pid(pid)
+
+    def __repr__(self):
+        return "ElasticConfig(%d/%d rings x %d procs, %s, gateways=%d)" % (
+            self.num_rings,
+            self.max_rings,
+            self.procs_per_ring,
+            self.case.name,
+            self.gateway_degree,
+        )

@@ -182,5 +182,13 @@ class SecureGroupEndpoint:
             fn(sender_id, seq, dest_group, payload)
 
     def _dispatch_membership(self, ring_id, members, excluded):
+        # Every installation re-derives the timeouts for the population
+        # that was actually installed — the churn path: a ring grown by
+        # runtime joins must rescale its rotation budget upward before
+        # the larger rotation falsely suspects correct-but-slow members.
+        # resolve_timeouts is growth-only, so a *shrinking* ring keeps
+        # the larger timeout (never tightened under a live protocol) and
+        # explicitly configured timeouts are never touched.
+        self.config.resolve_timeouts(self.signing.cost_model, len(members))
         for fn in list(self._membership_listeners):
             fn(ring_id, members, excluded)

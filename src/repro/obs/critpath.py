@@ -18,6 +18,10 @@ stage delta is joined against the flight-recorder timeline
   next live token event;
 * ``vote_quorum_wait`` — waiting for a majority of copies to arrive;
 * ``gateway_hop`` — cross-ring voted gateway re-origination;
+* ``migration`` — elastic live-migration holds: the time an invocation
+  spent parked between interception and its release at cutover (the
+  ``migration_held`` stage is marked at release, so its whole delta is
+  the hold);
 * ``wan_hop`` — cross-site voted WAN-gateway re-origination, priced off
   the inter-site latency matrix (the ``wan_forwarded`` stages are marked
   when the copy *lands*, so their deltas contain the WAN flight time);
@@ -48,6 +52,7 @@ CAUSES = (
     "vote_quorum_wait",
     "gateway_hop",
     "wan_hop",
+    "migration",
     "client_processing",
     "dispatch",
     "execution",
@@ -56,6 +61,7 @@ CAUSES = (
 
 #: stages whose whole delta maps to one cause directly
 _DIRECT_CAUSE = {
+    "migration_held": "migration",
     "multicast_queued": "client_processing",
     "gateway_forwarded": "gateway_hop",
     "wan_forwarded": "wan_hop",

@@ -31,6 +31,10 @@ reported by the exporter with the last stage it did reach.
 #: omitted).
 SPAN_STAGES = (
     "intercepted",          # client RM intercepted the outbound GIOP request
+    "migration_held",       # elastic: the invocation was parked by a live
+                            # migration hold and released at cutover (marked at
+                            # release, so the delta from "intercepted" prices
+                            # the hold; unmarked outside migration windows)
     "multicast_queued",     # handed to the secure multicast endpoint
     "gateway_forwarded",    # cross-ring: gateway re-originated the voted
                             # invocation on the destination ring

@@ -157,3 +157,18 @@ def test_cli_writes_deterministic_trend_json(tmp_path, capsys):
 def test_cli_errors_on_empty_directory(tmp_path, capsys):
     assert main(["--dir", str(tmp_path)]) == 2
     assert "no BENCH_" in capsys.readouterr().err
+
+
+def test_every_committed_artifact_contributes_headline_rows():
+    # Every BENCH_*.json actually committed at the repo root must render
+    # rows in the trend table — a bench whose artifact hits the
+    # "(no recognised headline)" fallback warning has broken the
+    # self-describing-headline contract.
+    import os
+
+    repo_root = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir)
+    entries = collect(repo_root)
+    assert entries, "no BENCH_*.json artifacts at the repo root"
+    for entry in entries:
+        assert entry["rows"], "%s contributes no headline rows" % entry["file"]
+    assert "no recognised headline" not in render_table(entries)

@@ -1,0 +1,70 @@
+"""Unit tests for :class:`repro.elastic.config.ElasticConfig`."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig, ClusterConfigError
+from repro.elastic import ElasticConfig
+
+
+def test_sized_by_initial_and_max_not_num_rings():
+    with pytest.raises(ClusterConfigError, match="num_rings"):
+        ElasticConfig(num_rings=2)
+    with pytest.raises(ClusterConfigError, match="exceeds max_rings"):
+        ElasticConfig(initial_rings=3, max_rings=2)
+    config = ElasticConfig(initial_rings=1, max_rings=3)
+    assert config.num_rings == 1
+    assert config.max_rings == 3
+
+
+def test_single_ring_start_keeps_the_gateway_reservation():
+    # A plain ClusterConfig zeroes gateway_degree on one ring; an
+    # elastic cluster will split, so its future gateway hosts must stay
+    # clear of application replicas from day one.
+    plain = ClusterConfig(num_rings=1, procs_per_ring=6)
+    assert plain.gateway_degree == 0
+    elastic = ElasticConfig(
+        initial_rings=1, max_rings=2, procs_per_ring=6, gateway_degree=3
+    )
+    assert elastic.gateway_degree == 3
+    assert elastic.gateway_pids(0) == (3, 4, 5)
+    assert elastic.worker_pids(0) == (0, 1, 2)
+
+
+def test_multi_ring_rules_validated_at_max_size_up_front():
+    # Two gateway copies cannot outvote one Byzantine gateway: the
+    # configuration could never legally split, so it fails now.
+    with pytest.raises(ClusterConfigError):
+        ElasticConfig(initial_rings=1, max_rings=2, gateway_degree=2)
+
+
+def test_grow_ring_activates_reserved_blocks_in_order():
+    config = ElasticConfig(initial_rings=1, max_rings=3, procs_per_ring=4)
+    with pytest.raises(ClusterConfigError):
+        config.ring_pids(1)  # not active yet
+    assert config.can_grow()
+    assert config.grow_ring() == 1
+    assert config.grow_ring() == 2
+    assert not config.can_grow()
+    with pytest.raises(ClusterConfigError, match="max_rings"):
+        config.grow_ring()
+    # a ring grown mid-run has the pids it would have had at deploy time
+    twin = ElasticConfig(initial_rings=3, max_rings=3, procs_per_ring=4)
+    assert [config.ring_pids(i) for i in range(3)] == [
+        twin.ring_pids(i) for i in range(3)
+    ]
+
+
+def test_churn_pids_live_above_every_reserved_ring_block():
+    config = ElasticConfig(initial_rings=2, max_rings=3, procs_per_ring=4)
+    top = config.pid_base + 3 * 4
+    first = config.allocate_churn_pid(0)
+    second = config.allocate_churn_pid(1)
+    assert first == top and second == top + 1
+    assert config.ring_of_pid(first) == 0
+    assert config.ring_of_pid(second) == 1
+    assert config.churn_pids() == (first, second)
+    assert config.churn_pids(1) == (second,)
+    # ordinary pids still resolve arithmetically
+    assert config.ring_of_pid(config.ring_pids(1)[0]) == 1
+    with pytest.raises(ClusterConfigError):
+        config.allocate_churn_pid(3)

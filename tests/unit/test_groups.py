@@ -109,3 +109,20 @@ def test_groups_hosted_by():
     assert table.groups_hosted_by(1) == ["a", "b"]
     assert table.groups_hosted_by(0) == ["a"]
     assert table.groups_hosted_by(9) == []
+
+
+def test_replace_installs_atomically_with_one_notification():
+    table = ObjectGroupTable()
+    table.create("g", [0, 1, 2])
+    seen = []
+    table.on_change(lambda name, members: seen.append((name, members)))
+    table.replace("g", [5, 4, 3])
+    # listeners observe a single change straight to the final placement
+    assert seen == [("g", (3, 4, 5))]
+    assert table.members("g") == (3, 4, 5)
+    table.replace("g", [3, 4, 5])  # unchanged placement: no notification
+    assert len(seen) == 1
+    table.replace("fresh", [7, 8])  # create-or-replace
+    assert table.members("fresh") == (7, 8)
+    with pytest.raises(GroupError):
+        table.replace("g", [1, 1, 2])

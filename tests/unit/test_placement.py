@@ -182,3 +182,57 @@ def test_to_dict_is_json_shaped():
     assert data["mode"] == "rendezvous"
     assert data["placements"][0]["group"] == "svc"
     assert isinstance(data["placements"][0]["procs"], list)
+
+
+# ----------------------------------------------------------------------
+# elasticity: rebalance deltas, moves, layout proposals
+# ----------------------------------------------------------------------
+
+
+def test_rebalance_delta_lists_only_changed_groups_sorted():
+    old = {"a": 0, "b": 1, "c": 0, "gone": 1}
+    new = {"a": 1, "b": 1, "c": 2, "fresh": 0}
+    delta = PlacementEngine.rebalance_delta(old, new)
+    # changed groups only, sorted; deploys/retirements are not moves
+    assert delta == [("a", 0, 1), ("c", 0, 2)]
+    assert PlacementEngine.rebalance_delta(new, new) == []
+
+
+def test_move_rerecords_placement_and_load():
+    engine = make_engine(num_rings=2)
+    placement = engine.place("svc")
+    src = placement.ring
+    dst = 1 - src
+    procs = engine.replica_procs("svc", dst, len(placement.procs))
+    moved = engine.move("svc", dst, procs)
+    assert moved.ring == dst and moved.procs == tuple(procs)
+    assert engine.layout() == {"svc": dst}
+    assert engine.load[src] == 0
+    assert engine.load[dst] == len(procs)
+    with pytest.raises(ClusterConfigError):
+        engine.move("never-placed", dst, procs)
+
+
+def test_add_ring_opens_a_load_bucket_without_clobbering():
+    engine = make_engine(num_rings=2)
+    engine.place("svc", ring=1)
+    engine.add_ring(2)
+    assert engine.load[2] == 0
+    engine.add_ring(1)  # re-adding an accounted ring is a no-op
+    assert engine.load[1] > 0
+
+
+def test_propose_layout_is_pure_rendezvous_and_stable():
+    # The proposal must depend only on (group, rings, salt): engines
+    # with different modes and load histories agree, and repeating the
+    # call cannot oscillate.
+    a = make_engine(mode="balanced", num_rings=2)
+    b = make_engine(mode="rendezvous", num_rings=2)
+    for k in range(4):
+        a.place("g%d" % k)
+    groups = ["g0", "g1", "g2", "g3"]
+    proposal = a.propose_layout([0, 1], groups)
+    assert proposal == b.propose_layout([0, 1], groups)
+    assert proposal == a.propose_layout([1, 0], groups)
+    assert set(proposal) == set(groups)
+    assert set(proposal.values()) <= {0, 1}
